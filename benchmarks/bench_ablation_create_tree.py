@@ -1,0 +1,46 @@
+"""E8 — section 4.5's Create improvement.
+
+"The initiation and termination are sequential, leading to an almost
+linear increase in overhead for additional processors.  Performance
+could be improved somewhat by sending startup and completion messages
+through an embedded binary tree."  This bench measures both dispatch
+modes and fits their growth.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import fit_line, format_table
+from repro.harness.experiments import run_create_tree_experiment
+
+
+def sweep():
+    return {p: run_create_tree_experiment(p) for p in (2, 4, 8, 16, 32)}
+
+
+def test_create_tree_dispatch(benchmark):
+    runs = run_once(benchmark, sweep)
+    rows = [
+        [p, run.sequential_ms, run.tree_ms,
+         run.sequential_ms / run.tree_ms]
+        for p, run in sorted(runs.items())
+    ]
+    ps = sorted(runs)
+    seq_fit = fit_line(ps, [runs[p].sequential_ms for p in ps])
+    table = format_table(
+        ["p", "sequential (ms)", "tree (ms)", "tree advantage"],
+        rows,
+        title="Create: sequential vs embedded-binary-tree dispatch",
+    )
+    table += (
+        f"\n\nsequential fit: {seq_fit[0]:.0f} + {seq_fit[1]:.1f}*p ms "
+        f"(paper Table 2: 145 + 17.5*p)"
+    )
+    emit("ablation_create_tree", table)
+
+    # sequential dispatch grows ~linearly in p
+    assert 8.0 < seq_fit[1] < 30.0
+    # the tree wins, and wins more the wider the system
+    assert runs[32].tree_ms < runs[32].sequential_ms
+    advantage = {p: runs[p].sequential_ms / runs[p].tree_ms for p in ps}
+    assert advantage[32] > advantage[4]
+    # tree growth is sublinear: doubling p far from doubles the time
+    assert runs[32].tree_ms < runs[8].tree_ms * 2.5

@@ -1,0 +1,65 @@
+"""E17 — the Bridge Server bottleneck and its distributed remedy.
+
+Section 4.1: "If requests to the server are frequent enough to cause a
+bottleneck, the same functionality could be provided by a distributed
+collection of processes."  This bench drives many concurrent naive
+clients against 1, 2, and 4 hash-partitioned Bridge Servers and measures
+the makespan.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import format_table
+from repro.harness.builders import BridgeSystem
+
+CLIENTS = 12
+BLOCKS = 12
+
+
+def makespan(servers: int) -> float:
+    system = BridgeSystem(4, seed=73, bridge_server_count=servers)
+    clients = [system.partitioned_client() for _ in range(CLIENTS)]
+
+    def worker(index, client):
+        name = f"c{index}"
+        yield from client.create(name)
+        for _b in range(BLOCKS):
+            yield from client.seq_write(name, b"w" * 64)
+        yield from client.open(name)
+        while True:
+            block, _data = yield from client.seq_read(name)
+            if block is None:
+                return
+
+    processes = [
+        system.client_node.spawn(worker(i, c), name=f"client{i}")
+        for i, c in enumerate(clients)
+    ]
+    system.sim.run()
+    assert all(p.done for p in processes)
+    return system.sim.now
+
+
+def sweep():
+    return {servers: makespan(servers) for servers in (1, 2, 4)}
+
+
+def test_server_scaling(benchmark):
+    times = run_once(benchmark, sweep)
+    rows = [
+        [servers, elapsed, times[1] / elapsed]
+        for servers, elapsed in sorted(times.items())
+    ]
+    emit(
+        "ablation_server_scaling",
+        format_table(
+            ["bridge servers", "makespan (s)", "speedup"],
+            rows,
+            title=(
+                f"{CLIENTS} concurrent naive clients, {BLOCKS}-block files "
+                "each (create + write + read back)"
+            ),
+        ),
+    )
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    assert times[1] / times[4] > 1.6  # the central server was the bottleneck

@@ -1,0 +1,59 @@
+"""E11 — the token-circuit saturation analysis (section 6 / [17]).
+
+"With sufficiently large p, the token will eventually be unable to
+complete a circuit of the nodes in the time it takes to read and write a
+record.  At that point performance should begin to taper off...  32
+nodes is clearly well below the point at which the merge phase of the
+sort tool would be unable to take advantage of additional parallelism."
+
+This bench merges two pre-sorted files at growing width and compares the
+measured records/second curve against the analytic saturation width
+(write_time / token_hop_time).
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import format_table
+from repro.harness.experiments import run_token_saturation
+from repro.tools.sort import SortCostModel
+
+
+def sweep():
+    records = 512
+    return {w: run_token_saturation(w, records=records) for w in (2, 4, 8, 16, 32)}
+
+
+def test_token_saturation(benchmark):
+    runs = run_once(benchmark, sweep)
+    model = SortCostModel()
+    rows = [
+        [w, run.elapsed, run.records_per_second,
+         run.records / model.merge_record_rate(w) / run.records
+         / (1 / model.merge_record_rate(w)) * run.records_per_second]
+        for w, run in sorted(runs.items())
+    ]
+    # simpler model column: predicted records/second
+    rows = [
+        [w, run.elapsed, run.records_per_second,
+         1.0 / model.merge_record_rate(w)]
+        for w, run in sorted(runs.items())
+    ]
+    table = format_table(
+        ["merge width", "time (s)", "records/s", "model records/s"],
+        rows,
+        title="Single pair-merge throughput vs width (512 records)",
+    )
+    table += (
+        f"\n\nanalytic saturation width: {model.saturation_width():.0f} "
+        "(write_time / token_hop_time) — gains flatten beyond it"
+    )
+    emit("ablation_token_saturation", table)
+
+    rates = {w: r.records_per_second for w, r in runs.items()}
+    # throughput rises with width in the disk-bound regime...
+    assert rates[8] > rates[2] * 1.8
+    # ...but the relative gain per doubling shrinks as the token binds
+    low_gain = rates[8] / rates[4]
+    high_gain = rates[32] / rates[16]
+    assert high_gain < low_gain
+    # and the last doubling is far from 2x
+    assert high_gain < 1.6

@@ -1,0 +1,62 @@
+"""E7 — section 5.1's filter claim.
+
+"Any of the filter programs produced by inserting such transformations
+should run within a constant factor of the copy tool's time."  Runs the
+plain copy and the three filters over the same file and checks the
+factor.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import format_table
+from repro.harness.experiments import default_blocks
+from repro.harness import paper_system
+from repro.tools import CopyTool, EncryptTool, LineLexTool, TranslateTool, rot13_table
+from repro.workloads import build_file, text_chunks
+
+
+def sweep():
+    blocks = max(128, default_blocks() // 4)
+    system = paper_system(8, seed=17)
+    build_file(system, "src", text_chunks(blocks, seed=17))
+    results = {}
+    tools = {
+        "copy": CopyTool(system.client_node, system.bridge.port, system.config),
+        "translate": TranslateTool(
+            system.client_node, system.bridge.port, system.config,
+            table=rot13_table(),
+        ),
+        "encrypt": EncryptTool(
+            system.client_node, system.bridge.port, system.config, key=b"k3y"
+        ),
+        "lex": LineLexTool(
+            system.client_node, system.bridge.port, system.config, line_length=80
+        ),
+    }
+    for name, tool in tools.items():
+        def body(t=tool, dst=f"out-{name}"):
+            return (yield from t.run("src", dst))
+
+        results[name] = system.run(body(), name=f"filter-{name}")
+    return blocks, results
+
+
+def test_filters_constant_factor_of_copy(benchmark):
+    blocks, results = run_once(benchmark, sweep)
+    base = results["copy"].elapsed
+    rows = [
+        [name, result.elapsed, result.elapsed / base,
+         result.blocks_per_second]
+        for name, result in results.items()
+    ]
+    emit(
+        "filters",
+        format_table(
+            ["tool", "time (s)", "factor vs copy", "blocks/s"],
+            rows,
+            title=f"Filter tools vs plain copy ({blocks} blocks, p = 8)",
+        ),
+    )
+    for name, result in results.items():
+        factor = result.elapsed / base
+        assert factor < 1.5, f"{name} not within a constant factor: {factor:.2f}"
+        assert result.total_blocks == blocks

@@ -1,0 +1,74 @@
+"""Host-side performance of the simulation kernel itself.
+
+Not a paper artifact — this measures the substrate's wall-clock
+throughput (events/second, RPC round trips/second) so regressions in the
+kernel show up in the benchmark suite.  Uses real multi-round
+pytest-benchmark timing since these are wall-clock measurements.
+"""
+
+from repro.machine import Client, Machine, Server
+from repro.sim import Mailbox, Simulator, Timeout
+
+
+def test_kernel_timeout_events_per_second(benchmark):
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(20_000):
+                yield Timeout(0.001)
+
+        sim.spawn(ticker())
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events >= 20_000
+
+
+def test_kernel_message_ping_pong(benchmark):
+    def run():
+        sim = Simulator()
+        left = Mailbox(sim, "left")
+        right = Mailbox(sim, "right")
+
+        def ping():
+            for _ in range(5_000):
+                right.deliver("ping")
+                yield left.recv()
+
+        def pong():
+            for _ in range(5_000):
+                yield right.recv()
+                left.deliver("pong")
+
+        sim.spawn(ping())
+        sim.spawn(pong())
+        sim.run()
+        return True
+
+    assert benchmark(run)
+
+
+class _NullServer(Server):
+    def op_noop(self):
+        yield Timeout(0.0)
+        return None
+
+
+def test_kernel_rpc_roundtrips(benchmark):
+    def run():
+        sim = Simulator()
+        machine = Machine(sim, 2)
+        server = _NullServer(machine.node(0), "null")
+        client = Client(machine.node(1))
+
+        def caller():
+            for _ in range(2_000):
+                yield from client.call(server.port, "noop")
+
+        sim.run_process(caller())
+        return server.requests_served
+
+    served = benchmark(run)
+    assert served == 2_000

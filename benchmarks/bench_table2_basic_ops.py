@@ -1,0 +1,78 @@
+"""E2 — Table 2: basic Bridge operation costs.
+
+Regenerates the paper's cost formulas by measuring Open / Read / Write /
+Create / Delete through the naive view across p, then fitting the same
+functional forms (Create ~ a + b*p; Read ~ a + b*p/n; Delete ~ a*n/p).
+
+Paper (Table 2):  Delete 20*n/p ms | Create 145 + 17.5p ms | Open 80 ms
+                  Read 9.0 + 500p/n ms | Write 31 ms
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis import (
+    fit_line,
+    format_table,
+    table2_create_ms,
+    table2_delete_ms,
+    table2_open_ms,
+    table2_read_ms,
+    table2_write_ms,
+)
+from repro.harness.experiments import measure_table2
+
+
+def sweep():
+    return {p: measure_table2(p, file_blocks=256) for p in (2, 4, 8, 16, 32)}
+
+
+def test_table2_basic_ops(benchmark):
+    measurements = run_once(benchmark, sweep)
+
+    rows = []
+    for p, m in sorted(measurements.items()):
+        rows.append(
+            [
+                p,
+                m.open_ms, table2_open_ms(),
+                m.read_ms_per_block, table2_read_ms(m.file_blocks, p),
+                m.write_ms_per_block, table2_write_ms(),
+                m.create_ms, table2_create_ms(p),
+                m.delete_ms_per_block_per_lfs, 20.0,
+            ]
+        )
+    table = format_table(
+        [
+            "p",
+            "open ms", "paper",
+            "read ms/blk", "paper",
+            "write ms/blk", "paper",
+            "create ms", "paper",
+            "delete ms/blk/LFS", "paper",
+        ],
+        rows,
+        title="Table 2: basic Bridge operations (measured vs paper formulas)",
+    )
+
+    ps = sorted(measurements)
+    create_fit = fit_line(ps, [measurements[p].create_ms for p in ps])
+    table += (
+        f"\n\ncreate fit: {create_fit[0]:.1f} + {create_fit[1]:.2f}*p ms"
+        f"   (paper: 145 + 17.5*p ms)"
+    )
+    emit("table2_basic_ops", table)
+
+    # --- shape assertions -------------------------------------------------
+    m2, m32 = measurements[2], measurements[32]
+    # Open: near 80 ms and roughly constant in p
+    assert 40.0 < m2.open_ms < 160.0
+    assert abs(m32.open_ms - m2.open_ms) < 0.5 * m2.open_ms
+    # Read: beats the 15 ms disk latency thanks to track buffering
+    assert m2.read_ms_per_block < 15.0
+    # Write: near 31 ms, independent of p
+    assert 25.0 < m2.write_ms_per_block < 50.0
+    assert abs(m32.write_ms_per_block - m2.write_ms_per_block) < 6.0
+    # Create: linear in p with a positive slope near the paper's 17.5
+    assert 8.0 < create_fit[1] < 30.0
+    # Delete: ~20 ms per block per LFS; total drops as p grows
+    assert 14.0 < m2.delete_ms_per_block_per_lfs < 30.0
+    assert m32.delete_ms_total < m2.delete_ms_total

@@ -1,0 +1,80 @@
+"""E3/E4 — Table 3 and its figure: copy tool performance.
+
+Regenerates the copy-time column (10 MB file, p = 2..32) and the
+records-per-second series plotted beside it.  Default scale is ~1 MB;
+REPRO_FULL=1 runs the paper's 10 922-block file.
+
+Paper (Table 3):  p=2: 311.6 s ... p=32: 21.6 s (nearly linear speedup);
+figure peaks at 475 records/second.
+"""
+
+from benchmarks.conftest import bench_ps, emit, run_once
+from repro.analysis import (
+    PAPER_COPY_PEAK_RECORDS_PER_SECOND,
+    PAPER_TABLE3_COPY_SECONDS,
+    format_table,
+    shape_ratio,
+    speedup_series,
+)
+from repro.harness.experiments import default_blocks, run_copy_experiment
+
+
+def sweep():
+    return {p: run_copy_experiment(p) for p in bench_ps()}
+
+
+def test_table3_copy_tool(benchmark):
+    runs = run_once(benchmark, sweep)
+    blocks = next(iter(runs.values())).blocks
+    scale = blocks / 10922
+
+    measured_times = {p: r.elapsed for p, r in runs.items()}
+    measured_speedup = speedup_series(measured_times)
+    paper_speedup = speedup_series(PAPER_TABLE3_COPY_SECONDS)
+
+    rows = []
+    for p, run in sorted(runs.items()):
+        paper_scaled = (
+            PAPER_TABLE3_COPY_SECONDS[p] * scale
+            if p in PAPER_TABLE3_COPY_SECONDS
+            else None
+        )
+        rows.append(
+            [
+                p,
+                run.elapsed,
+                paper_scaled if paper_scaled is not None else "-",
+                run.records_per_second,
+                measured_speedup[p],
+                paper_speedup.get(p, "-"),
+            ]
+        )
+    table = format_table(
+        ["p", "copy time (s)", "paper (scaled)", "records/s",
+         "speedup", "paper speedup"],
+        rows,
+        title=(
+            f"Table 3: copy tool, {blocks}-block file "
+            f"({scale:.2f}x of the paper's 10 MB)"
+        ),
+    )
+    peak = max(run.records_per_second for run in runs.values())
+    table += (
+        f"\n\nfigure series (records/second): peak {peak:.0f} measured vs "
+        f"{PAPER_COPY_PEAK_RECORDS_PER_SECOND:.0f} in the paper (p = 32)"
+    )
+    ratios = shape_ratio(measured_times, PAPER_TABLE3_COPY_SECONDS)
+    if ratios:
+        spread = max(ratios.values()) / min(ratios.values())
+        table += f"\nshape check: measured/paper ratio spread {spread:.2f}x across p"
+    emit("table3_copy", table)
+
+    # --- shape assertions: nearly linear speedup --------------------------
+    ps = sorted(runs)
+    for smaller, larger in zip(ps, ps[1:]):
+        gain = measured_times[smaller] / measured_times[larger]
+        assert gain > 1.5, f"speedup {smaller}->{larger} too weak: {gain:.2f}"
+    assert measured_speedup[max(ps)] > 0.55 * (max(ps) / min(ps))
+    # throughput (the figure) rises monotonically with p
+    rates = [runs[p].records_per_second for p in ps]
+    assert rates == sorted(rates)

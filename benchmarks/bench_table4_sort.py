@@ -1,0 +1,98 @@
+"""E5/E6 — Table 4 and its figures: merge-sort tool performance.
+
+Regenerates the local-sort / merge / total breakdown and the
+records-per-second series.  The in-core buffer is scaled with the file
+(c = 512 at full scale) so the run structure — and therefore the local
+phase's superlinear speedup, where each doubling of p removes one local
+merge pass — matches the paper's.
+
+Paper (Table 4, minutes):
+    p=2: 350 + 17 = 367 | p=8: 24 + 11 = 35 | p=32: 0.67 + 4.45 = 5.12
+Local sort is superlinear; the merge phase improves only modestly
+(17 -> 4.45 min over 2 -> 32 processors); figure peaks at 35 records/s.
+"""
+
+from benchmarks.conftest import bench_ps, emit, run_once
+from repro.analysis import (
+    PAPER_SORT_PEAK_RECORDS_PER_SECOND,
+    PAPER_TABLE4_SORT_MINUTES,
+    format_table,
+    is_superlinear,
+    speedup_series,
+)
+from repro.harness.experiments import default_sort_records, run_sort_experiment
+
+
+def sweep():
+    records = default_sort_records()
+    # keep records/buffer near the paper's 10922/512 so pass counts match
+    buffer_records = max(8, round(records * 512 / 10922))
+    return {
+        p: run_sort_experiment(p, records=records, buffer_records=buffer_records)
+        for p in bench_ps()
+    }, buffer_records
+
+
+def test_table4_sort_tool(benchmark):
+    runs, buffer_records = run_once(benchmark, sweep)
+    records = next(iter(runs.values())).records
+    scale = records / 10922
+
+    rows = []
+    for p, run in sorted(runs.items()):
+        paper = PAPER_TABLE4_SORT_MINUTES.get(p)
+        rows.append(
+            [
+                p,
+                run.local_sort_seconds,
+                paper[0] * 60 * scale if paper else "-",
+                run.merge_seconds,
+                paper[1] * 60 * scale if paper else "-",
+                run.total_seconds,
+                run.records_per_second,
+            ]
+        )
+    table = format_table(
+        ["p", "local sort (s)", "paper (scaled)", "merge (s)",
+         "paper (scaled)", "total (s)", "records/s"],
+        rows,
+        title=(
+            f"Table 4: merge sort, {records} records "
+            f"({scale:.2f}x of the paper's file), c = {buffer_records}"
+        ),
+    )
+    peak = max(run.records_per_second for run in runs.values())
+    table += (
+        f"\n\nfigure series: peak {peak:.1f} records/s measured vs "
+        f"{PAPER_SORT_PEAK_RECORDS_PER_SECOND:.0f} in the paper (p = 32)"
+    )
+    local = {p: r.local_sort_seconds for p, r in runs.items()}
+    merge = {p: r.merge_seconds for p, r in runs.items()}
+    table += (
+        f"\nlocal-sort speedup series: "
+        f"{ {p: round(v, 1) for p, v in speedup_series(local).items()} }"
+    )
+    table += (
+        f"\nmerge speedup series:      "
+        f"{ {p: round(v, 1) for p, v in speedup_series(merge).items()} }"
+    )
+    emit("table4_sort", table)
+
+    # --- shape assertions --------------------------------------------------
+    ps = sorted(runs)
+    # local phase: superlinear over the range where merge passes disappear
+    for smaller, larger in zip(ps[:3], ps[1:4]):
+        factor = larger / smaller
+        gain = local[smaller] / local[larger]
+        assert gain > factor, (
+            f"local sort {smaller}->{larger} not superlinear: {gain:.2f}"
+        )
+    # merge phase: improves overall, but sublinearly (paper: 3.8x over 16x)
+    assert merge[ps[0]] > merge[ps[-1]]
+    assert merge[ps[0]] / merge[ps[-1]] < (ps[-1] / ps[0]) * 0.8
+    # totals: monotone decreasing in p
+    totals = [runs[p].total_seconds for p in ps]
+    assert totals == sorted(totals, reverse=True)
+    # throughput figure: monotone increasing
+    rates = [runs[p].records_per_second for p in ps]
+    assert rates == sorted(rates)

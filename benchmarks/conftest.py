@@ -1,0 +1,45 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench regenerates one paper artifact (table or figure): it sweeps
+the experiment runner, prints a paper-vs-measured table, saves the same
+text under ``benchmarks/results/``, asserts the paper's qualitative shape,
+and reports wall-clock cost through pytest-benchmark.
+
+Scale: by default files are ~1/10th of the paper's 10 MB so the suite
+finishes in CI time; set ``REPRO_FULL=1`` to run the full configuration.
+"""
+
+import os
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The processor counts of Tables 3 and 4.
+PAPER_PS = (2, 4, 8, 16, 32)
+
+
+def bench_ps():
+    """Processor sweep: full paper range, trimmed a little by default."""
+    if os.environ.get("REPRO_FULL", "") == "1":
+        return PAPER_PS
+    return (2, 4, 8, 16, 32)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table (visible with -s / on failure) and save it."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    print(banner)
+    sys.stderr.write(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment sweep exactly once under pytest-benchmark.
+
+    Simulation sweeps are deterministic, so repeated rounds would only
+    re-measure Python's wall-clock noise; one round keeps the suite fast
+    while still recording real host cost.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

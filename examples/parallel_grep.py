@@ -1,0 +1,73 @@
+"""Log search with the grep tool: ship the code to the data.
+
+A 16-node Bridge system holds a large "log file"; the grep tool spawns a
+scanner on every LFS node so only match positions cross the interconnect.
+The same search is then repeated on an Ethernet-style shared bus, where
+the naive view must move every block across the network and the tool's
+advantage becomes decisive (the paper's section 1 argument).
+
+Run: python examples/parallel_grep.py [blocks]
+"""
+
+import sys
+
+from repro import BridgeSystem, GrepTool
+from repro.machine import EthernetNetwork
+from repro.storage import FixedLatency
+from repro.workloads import build_file, text_chunks
+
+
+def search(system, label: str, blocks: int):
+    chunks = text_chunks(blocks, seed=3, needle=b"ERROR-42", needle_every=17)
+    build_file(system, "syslog", chunks)
+    tool = GrepTool(system.client_node, system.bridge.port, system.config)
+
+    def tool_search():
+        return (yield from tool.run("syslog", b"ERROR-42"))
+
+    result = system.run(tool_search())
+
+    client = system.naive_client()
+
+    def naive_search():
+        yield from client.open("syslog")
+        start = system.sim.now
+        hits = 0
+        while True:
+            block, data = yield from client.seq_read("syslog")
+            if block is None:
+                break
+            hits += data.count(b"ERROR-42")
+        return hits, system.sim.now - start
+
+    naive_hits, naive_elapsed = system.run(naive_search())
+    assert naive_hits == result.count
+
+    print(f"[{label}]")
+    print(f"  grep tool:   {result.count} matches in {result.elapsed:.2f} s "
+          f"({result.blocks_scanned / result.elapsed:.0f} blocks/s)")
+    print(f"  naive view:  {naive_hits} matches in {naive_elapsed:.2f} s "
+          f"({blocks / naive_elapsed:.0f} blocks/s)")
+    print(f"  tool advantage: {naive_elapsed / result.elapsed:.1f}x")
+    first = result.matches[0]
+    print(f"  first match: global block {first.global_block}, "
+          f"offset {first.offset}\n")
+
+
+def main(blocks: int = 256) -> None:
+    print(f"searching a {blocks}-block log for 'ERROR-42'\n")
+    butterfly = BridgeSystem(16, seed=5, disk_latency=FixedLatency(0.015))
+    search(butterfly, "Butterfly switch (cheap messages)", blocks)
+
+    ethernet = BridgeSystem(
+        16, seed=5, disk_latency=FixedLatency(0.015), network=EthernetNetwork
+    )
+    search(ethernet, "shared 10 Mb/s Ethernet (every naive block crosses the bus)",
+           blocks)
+    print("On a broadcast network, moving the scan to the data is the only\n"
+          "view whose cost does not grow with the interconnect's load —\n"
+          "exactly the paper's motivation for the tool interface.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 256)

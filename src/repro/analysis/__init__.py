@@ -1,0 +1,57 @@
+"""Analysis: paper models, derived metrics, table formatting."""
+
+from repro.analysis.metrics import (
+    ScalingPoint,
+    crossover_point,
+    efficiency,
+    is_superlinear,
+    scaling_table,
+    speedup,
+    throughput,
+)
+from repro.analysis.models import (
+    PAPER_COPY_PEAK_RECORDS_PER_SECOND,
+    PAPER_FILE_BLOCKS,
+    PAPER_SORT_BUFFER_RECORDS,
+    PAPER_SORT_PEAK_RECORDS_PER_SECOND,
+    PAPER_TABLE3_COPY_SECONDS,
+    PAPER_TABLE4_SORT_MINUTES,
+    fit_line,
+    shape_ratio,
+    speedup_series,
+    table2_create_ms,
+    table2_delete_ms,
+    table2_open_ms,
+    table2_read_ms,
+    table2_write_ms,
+)
+from repro.analysis.report import build_report
+from repro.analysis.tables import format_markdown_table, format_series, format_table
+
+__all__ = [
+    "PAPER_COPY_PEAK_RECORDS_PER_SECOND",
+    "PAPER_FILE_BLOCKS",
+    "PAPER_SORT_BUFFER_RECORDS",
+    "PAPER_SORT_PEAK_RECORDS_PER_SECOND",
+    "PAPER_TABLE3_COPY_SECONDS",
+    "PAPER_TABLE4_SORT_MINUTES",
+    "ScalingPoint",
+    "build_report",
+    "crossover_point",
+    "efficiency",
+    "fit_line",
+    "format_markdown_table",
+    "format_series",
+    "format_table",
+    "is_superlinear",
+    "scaling_table",
+    "shape_ratio",
+    "speedup",
+    "speedup_series",
+    "table2_create_ms",
+    "table2_delete_ms",
+    "table2_open_ms",
+    "table2_read_ms",
+    "table2_write_ms",
+    "throughput",
+]

@@ -1,0 +1,146 @@
+"""The paper's published numbers and cost formulas.
+
+Table 2 gives closed-form costs for the basic operations; Tables 3 and 4
+give the copy and sort tool measurements (10 MB file, p in {2..32}).
+These constants are the reference series every bench prints next to its
+measurements, and the fitting helpers extract comparable coefficients
+from simulated data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+# ---------------------------------------------------------------------------
+# Table 2: Bridge operations (milliseconds; n = file size in blocks)
+# ---------------------------------------------------------------------------
+
+
+def table2_delete_ms(file_blocks: int, width: int) -> float:
+    """Delete: 20 * filesize / p ms."""
+    return 20.0 * file_blocks / width
+
+
+def table2_create_ms(width: int) -> float:
+    """Create: 145 + 17.5 p ms."""
+    return 145.0 + 17.5 * width
+
+
+def table2_open_ms() -> float:
+    """Open: 80 ms, independent of p."""
+    return 80.0
+
+
+def table2_read_ms(file_blocks: int, width: int) -> float:
+    """Sequential read, amortized per block: 9.0 + 500 p / filesize ms."""
+    return 9.0 + 500.0 * width / file_blocks
+
+
+def table2_write_ms() -> float:
+    """Sequential write, per block: 31 ms."""
+    return 31.0
+
+
+# ---------------------------------------------------------------------------
+# Table 3: copy tool, 10 Mbyte file
+# ---------------------------------------------------------------------------
+
+#: Processors -> copy time in seconds (paper Table 3).
+PAPER_TABLE3_COPY_SECONDS: Dict[int, float] = {
+    2: 311.6,
+    4: 156.0,
+    8: 79.3,
+    16: 41.0,
+    32: 21.6,
+}
+
+#: The figure beside Table 3 peaks at 475 records/second (p = 32).
+PAPER_COPY_PEAK_RECORDS_PER_SECOND = 475.0
+
+# ---------------------------------------------------------------------------
+# Table 4: merge sort tool, 10 Mbyte file
+# ---------------------------------------------------------------------------
+
+#: Processors -> (local sort minutes, merge minutes, total minutes).
+PAPER_TABLE4_SORT_MINUTES: Dict[int, Tuple[float, float, float]] = {
+    2: (350.0, 17.0, 367.0),
+    4: (98.0, 16.0, 111.0),
+    8: (24.0, 11.0, 35.0),
+    16: (6.0, 7.0, 13.0),
+    32: (0.67, 4.45, 5.12),
+}
+
+#: The figure beside Table 4 peaks at 35 records/second (p = 32).
+PAPER_SORT_PEAK_RECORDS_PER_SECOND = 35.0
+
+#: The evaluation file: 10 MB of 960-byte records (section 5).
+PAPER_FILE_BLOCKS = 10 * 1024 * 1024 // 960  # 10 922 full blocks
+
+#: The in-core sort buffer (section 5.2).
+PAPER_SORT_BUFFER_RECORDS = 512
+
+
+# ---------------------------------------------------------------------------
+# Copy tool cost model (section 5.1: O(n/p + log p))
+# ---------------------------------------------------------------------------
+
+
+def copy_time_model(
+    file_blocks: int,
+    width: int,
+    read_time: float = 0.009,
+    write_time: float = 0.036,
+    startup_per_level: float = 0.012,
+    fixed_overhead: float = 0.35,
+) -> float:
+    """Closed-form copy-tool time: per-node streaming plus log-depth
+    start-up/completion and the fixed Get Info / Open / Create phase."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    per_node_blocks = math.ceil(file_blocks / width)
+    levels = math.ceil(math.log2(width)) if width > 1 else 0
+    return (
+        fixed_overhead
+        + levels * startup_per_level
+        + per_node_blocks * (read_time + write_time)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fitting helpers
+# ---------------------------------------------------------------------------
+
+
+def fit_line(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y = intercept + slope * x``."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("degenerate fit: all x equal")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    return mean_y - slope * mean_x, slope
+
+
+def speedup_series(times: Dict[int, float]) -> Dict[int, float]:
+    """Speedup relative to the smallest configuration in the series."""
+    if not times:
+        return {}
+    base_p = min(times)
+    base = times[base_p]
+    return {p: base / t if t > 0 else math.inf for p, t in sorted(times.items())}
+
+
+def shape_ratio(measured: Dict[int, float], paper: Dict[int, float]) -> Dict[int, float]:
+    """measured/paper per configuration — a flat series means the shape
+    matches even when absolute constants differ."""
+    return {
+        p: measured[p] / paper[p]
+        for p in sorted(measured)
+        if p in paper and paper[p] > 0
+    }

@@ -1,0 +1,111 @@
+"""Markdown report generation from live experiment runs.
+
+``build_report`` runs the headline sweeps (Tables 2-4) at a chosen scale
+and renders a self-contained markdown document with paper-vs-measured
+tables — the programmatic counterpart of EXPERIMENTS.md, usable from
+notebooks or CI:
+
+    from repro.analysis.report import build_report
+    print(build_report(ps=(2, 4, 8)))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import scaling_table
+from repro.analysis.models import (
+    PAPER_TABLE3_COPY_SECONDS,
+    PAPER_TABLE4_SORT_MINUTES,
+    fit_line,
+    speedup_series,
+    table2_create_ms,
+    table2_open_ms,
+    table2_write_ms,
+)
+from repro.analysis.tables import format_markdown_table
+
+
+def table2_section(ps: Sequence[int], file_blocks: int = 256) -> str:
+    from repro.harness.experiments import measure_table2
+
+    measurements = {p: measure_table2(p, file_blocks=file_blocks) for p in ps}
+    rows = [
+        [p, m.open_ms, m.read_ms_per_block, m.write_ms_per_block,
+         m.create_ms, m.delete_ms_per_block_per_lfs]
+        for p, m in sorted(measurements.items())
+    ]
+    body = format_markdown_table(
+        ["p", "open ms", "read ms/blk", "write ms/blk", "create ms",
+         "delete ms/blk/LFS"],
+        rows,
+    )
+    intercept, slope = fit_line(
+        list(ps), [measurements[p].create_ms for p in ps]
+    )
+    return (
+        "## Table 2: basic operations\n\n"
+        f"{body}\n\n"
+        f"Create fit: `{intercept:.0f} + {slope:.1f}p` ms "
+        f"(paper `145 + 17.5p`); Open paper {table2_open_ms():.0f} ms; "
+        f"Write paper {table2_write_ms():.0f} ms.\n"
+    )
+
+
+def table3_section(ps: Sequence[int], blocks: Optional[int] = None) -> str:
+    from repro.harness.experiments import run_copy_experiment
+
+    runs = {p: run_copy_experiment(p, blocks=blocks) for p in ps}
+    times = {p: r.elapsed for p, r in runs.items()}
+    measured = speedup_series(times)
+    paper = speedup_series(
+        {p: s for p, s in PAPER_TABLE3_COPY_SECONDS.items() if p in ps}
+    )
+    rows = [
+        [p, runs[p].blocks, runs[p].elapsed, runs[p].records_per_second,
+         measured[p], paper.get(p, "-")]
+        for p in sorted(runs)
+    ]
+    body = format_markdown_table(
+        ["p", "blocks", "time (s)", "records/s", "speedup", "paper speedup"],
+        rows,
+    )
+    return f"## Table 3: copy tool\n\n{body}\n"
+
+
+def table4_section(ps: Sequence[int], records: Optional[int] = None) -> str:
+    from repro.harness.experiments import run_sort_experiment
+
+    runs = {p: run_sort_experiment(p, records=records) for p in ps}
+    rows = [
+        [p, runs[p].local_sort_seconds, runs[p].merge_seconds,
+         runs[p].total_seconds, runs[p].records_per_second]
+        for p in sorted(runs)
+    ]
+    body = format_markdown_table(
+        ["p", "local sort (s)", "merge (s)", "total (s)", "records/s"],
+        rows,
+    )
+    paper = {p: PAPER_TABLE4_SORT_MINUTES[p] for p in ps
+             if p in PAPER_TABLE4_SORT_MINUTES}
+    return (
+        "## Table 4: merge sort tool\n\n"
+        f"{body}\n\n"
+        f"Paper (local, merge, total) minutes: `{paper}`\n"
+    )
+
+
+def build_report(ps: Sequence[int] = (2, 4, 8),
+                 blocks: Optional[int] = None,
+                 records: Optional[int] = None,
+                 title: str = "Bridge reproduction report") -> str:
+    """Run the headline sweeps and render one markdown document."""
+    if not ps:
+        raise ValueError("need at least one processor count")
+    sections = [
+        f"# {title}\n",
+        table2_section(ps),
+        table3_section(ps, blocks=blocks),
+        table4_section(ps, records=records),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,51 @@
+"""Paper-style table formatting for bench output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width ASCII table, right-aligned numbers."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[Any]]) -> str:
+    """GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_render_cell(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def format_series(label: str, series: dict, unit: str = "") -> str:
+    """One-line rendering of a p -> value series."""
+    parts = [f"p={p}: {_render_cell(v)}{unit}" for p, v in sorted(series.items())]
+    return f"{label}: " + ", ".join(parts)

@@ -1,0 +1,29 @@
+"""Baseline systems the paper compares against (sections 2-3)."""
+
+from repro.baselines.distribution import (
+    PLACEMENTS,
+    ChunkedPlacement,
+    HashedPlacement,
+    RoundRobinPlacement,
+    expected_distinct_nodes_hashed,
+    measured_batch_parallelism,
+    prob_all_distinct_hashed,
+    sequential_window_rounds,
+)
+from repro.baselines.sequential_fs import SequentialCopyResult, SequentialSystem
+from repro.baselines.striping import StripedServer, StripedSystem
+
+__all__ = [
+    "PLACEMENTS",
+    "ChunkedPlacement",
+    "HashedPlacement",
+    "RoundRobinPlacement",
+    "SequentialCopyResult",
+    "SequentialSystem",
+    "StripedServer",
+    "StripedSystem",
+    "expected_distinct_nodes_hashed",
+    "measured_batch_parallelism",
+    "prob_all_distinct_hashed",
+    "sequential_window_rounds",
+]

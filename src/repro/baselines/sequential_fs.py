@@ -1,0 +1,107 @@
+"""The conventional-file-system baseline: one processor, one disk.
+
+This is the system the paper's O(n) copy claim refers to: everything —
+directory, block lists, data — lives behind a single EFS instance on a
+single node, and every block crosses the interconnect to the client.
+Built from the same EFS/disk substrates as Bridge so comparisons isolate
+exactly one variable: parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.efs import EFSClient, EFSServer
+from repro.machine import Machine
+from repro.sim import Simulator
+from repro.storage import DiskParameters, FixedLatency, SimulatedDisk
+
+
+@dataclass
+class SequentialCopyResult:
+    blocks: int
+    elapsed: float
+
+    @property
+    def blocks_per_second(self) -> float:
+        return self.blocks / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class SequentialSystem:
+    """A single-LFS installation with a remote client node."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        seed: int = 0,
+        disk_capacity_blocks: int = 65_536,
+        disk_latency=None,
+    ) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.sim = Simulator(seed=seed)
+        self.machine = Machine(self.sim, 2, config=self.config)
+        self.fs_node = self.machine.node(0)
+        self.client_node = self.machine.node(1)
+        params = DiskParameters(name="disk0", capacity_blocks=disk_capacity_blocks)
+        self.disk = SimulatedDisk(
+            self.sim, params, disk_latency or FixedLatency(0.015)
+        )
+        self.efs = EFSServer(self.fs_node, self.disk, self.config)
+        self._next_file = 1
+
+    # ------------------------------------------------------------------
+
+    def client(self, node=None) -> EFSClient:
+        return EFSClient(node or self.client_node, self.efs.port)
+
+    def allocate_file_number(self) -> int:
+        number = self._next_file
+        self._next_file += 1
+        return number
+
+    def run(self, generator, name: str = "main"):
+        return self.sim.run_process(generator, name=name)
+
+    # ------------------------------------------------------------------
+
+    def build_file(self, chunks: List[bytes]) -> int:
+        """Create and populate a file; returns its number."""
+        number = self.allocate_file_number()
+        client = self.client()
+
+        def body():
+            yield from client.create(number)
+            yield from client.write_file(number, chunks)
+
+        self.run(body(), name="seq-build")
+        return number
+
+    def copy_file(self, src_number: int) -> SequentialCopyResult:
+        """The O(n) conventional copy: every block through the client."""
+        dst_number = self.allocate_file_number()
+        client = self.client()
+
+        def body():
+            start = self.sim.now
+            yield from client.create(dst_number)
+            info = yield from client.info(src_number)
+            hint = info.head_addr
+            for block in range(info.size_blocks):
+                result = yield from client.read(src_number, block, hint=hint)
+                hint = result.next_addr
+                yield from client.append(dst_number, result.data)
+            return SequentialCopyResult(
+                blocks=info.size_blocks, elapsed=self.sim.now - start
+            )
+
+        return self.run(body(), name="seq-copy")
+
+    def read_file(self, number: int) -> List[bytes]:
+        client = self.client()
+
+        def body():
+            return (yield from client.read_file(number))
+
+        return self.run(body(), name="seq-read")

@@ -1,0 +1,46 @@
+"""Bridge core: the paper's primary contribution.
+
+Interleaved-file addressing, the Bridge directory, the Bridge Server with
+its three user views (naive, parallel-open, tool), and the parallel-job
+machinery.
+"""
+
+from repro.core.addressing import InterleaveMap
+from repro.core.client import BridgeClient
+from repro.core.directory import BridgeDirectory, BridgeFileEntry
+from repro.core.disorder import ReorganizeResult, reorganize, scatter_quality
+from repro.core.info import ConstituentInfo, LFSHandle, OpenResult, SystemInfo
+from repro.core.parallel import (
+    BlockDelivery,
+    Deposit,
+    JobController,
+    JobInfo,
+    ParallelWorker,
+)
+from repro.core.partitioned import PartitionedBridge, PartitionedClient, partition_of
+from repro.core.relay import RelayServer
+from repro.core.server import BridgeServer
+
+__all__ = [
+    "BlockDelivery",
+    "BridgeClient",
+    "BridgeDirectory",
+    "BridgeFileEntry",
+    "BridgeServer",
+    "ConstituentInfo",
+    "Deposit",
+    "InterleaveMap",
+    "JobController",
+    "JobInfo",
+    "LFSHandle",
+    "PartitionedBridge",
+    "PartitionedClient",
+    "ReorganizeResult",
+    "OpenResult",
+    "ParallelWorker",
+    "RelayServer",
+    "SystemInfo",
+    "partition_of",
+    "reorganize",
+    "scatter_quality",
+]

@@ -1,0 +1,124 @@
+"""Interleaved-file addressing (paper section 3).
+
+An interleaved file is a two-dimensional array of blocks in row-major
+order: "with p instances of the LFS, the nth block of an interleaved file
+will be block (n div p) in the constituent file on LFS (n mod p)...  If
+the round-robin distribution can start on any node, then the nth block
+will be found on processor ((n + k) mod p), where block zero belongs to
+LFS k."
+
+This module is pure arithmetic — no simulation — and is exercised by
+property-based tests: the round trip ``global -> (slot, local) -> global``
+must be the identity, and any p consecutive global blocks must land on p
+distinct slots (the guarantee that makes round-robin "optimal for parallel
+execution of sequential file operations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class InterleaveMap:
+    """Block-address arithmetic for one interleaved file.
+
+    ``width`` is p, the number of constituent local file systems;
+    ``start`` is k, the LFS slot holding global block zero.  *Slots* are
+    positions ``0..p-1`` in the file's constituent list (which the Bridge
+    directory maps to machine nodes).
+    """
+
+    width: int
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"interleave width must be >= 1, got {self.width}")
+        if not 0 <= self.start < self.width:
+            raise ValueError(
+                f"start slot {self.start} outside [0, {self.width})"
+            )
+
+    # ------------------------------------------------------------------
+    # Global -> local
+    # ------------------------------------------------------------------
+
+    def slot_of(self, global_block: int) -> int:
+        """The LFS slot holding the given global block: (n + k) mod p."""
+        self._check_global(global_block)
+        return (global_block + self.start) % self.width
+
+    def local_block(self, global_block: int) -> int:
+        """The block number within the constituent file: n div p."""
+        self._check_global(global_block)
+        return global_block // self.width
+
+    def locate(self, global_block: int) -> Tuple[int, int]:
+        """``(slot, local_block)`` for a global block number."""
+        return self.slot_of(global_block), self.local_block(global_block)
+
+    # ------------------------------------------------------------------
+    # Local -> global
+    # ------------------------------------------------------------------
+
+    def column_of_slot(self, slot: int) -> int:
+        """The interleave column a slot serves: (slot - k) mod p.
+
+        Column c holds global blocks with ``n mod p == c``.
+        """
+        self._check_slot(slot)
+        return (slot - self.start) % self.width
+
+    def global_block(self, slot: int, local_block: int) -> int:
+        """Inverse of :meth:`locate`."""
+        self._check_slot(slot)
+        if local_block < 0:
+            raise ValueError(f"negative local block {local_block}")
+        return local_block * self.width + self.column_of_slot(slot)
+
+    # ------------------------------------------------------------------
+    # Size arithmetic
+    # ------------------------------------------------------------------
+
+    def blocks_on_slot(self, slot: int, total_blocks: int) -> int:
+        """How many of ``total_blocks`` land on ``slot``."""
+        self._check_slot(slot)
+        if total_blocks < 0:
+            raise ValueError(f"negative file size {total_blocks}")
+        column = self.column_of_slot(slot)
+        full_rows, remainder = divmod(total_blocks, self.width)
+        return full_rows + (1 if column < remainder else 0)
+
+    def constituent_sizes(self, total_blocks: int) -> List[int]:
+        """Per-slot block counts, indexed by slot."""
+        return [self.blocks_on_slot(s, total_blocks) for s in range(self.width)]
+
+    def total_from_sizes(self, sizes_by_slot: List[int]) -> int:
+        """Reconstruct (and validate) the global size from per-slot sizes.
+
+        Raises ``ValueError`` if the sizes are not a legal round-robin
+        prefix (columns may differ by at most one, in column order).
+        """
+        if len(sizes_by_slot) != self.width:
+            raise ValueError(
+                f"expected {self.width} sizes, got {len(sizes_by_slot)}"
+            )
+        total = sum(sizes_by_slot)
+        if sizes_by_slot != self.constituent_sizes(total):
+            raise ValueError(
+                f"sizes {sizes_by_slot} are not a round-robin prefix "
+                f"(expected {self.constituent_sizes(total)} for total {total})"
+            )
+        return total
+
+    # ------------------------------------------------------------------
+
+    def _check_global(self, global_block: int) -> None:
+        if global_block < 0:
+            raise ValueError(f"negative global block {global_block}")
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.width:
+            raise ValueError(f"slot {slot} outside [0, {self.width})")

@@ -1,0 +1,118 @@
+"""The naive client view of Bridge.
+
+"Users who want to access data without bothering with the interleaved
+structure of files can use this simple interface" (section 4.1).  All
+methods are generators to be driven with ``yield from`` inside simulated
+processes.
+"""
+
+from __future__ import annotations
+
+from repro.config import BLOCK_SIZE
+from repro.machine import Client, Port
+
+
+class BridgeClient:
+    """Sequential-file-system-style access through the Bridge Server."""
+
+    def __init__(self, node, server_port: Port, name: str = "bridge-client") -> None:
+        self.node = node
+        self.server_port = server_port
+        self._rpc = Client(node, name)
+
+    # ------------------------------------------------------------------
+    # File management
+    # ------------------------------------------------------------------
+
+    def create(self, name: str, width=None, node_slots=None, start: int = 0,
+               disordered: bool = False):
+        """Create an interleaved file; returns its file id.
+
+        ``disordered=True`` creates a section-3 disordered file whose
+        blocks scatter arbitrarily (see :mod:`repro.core.disorder`).
+        """
+        return (
+            yield from self._rpc.call(
+                self.server_port,
+                "create",
+                name=name,
+                width=width,
+                node_slots=node_slots,
+                start=start,
+                disordered=disordered,
+            )
+        )
+
+    def get_block_map(self, name: str):
+        """The global->local map of a disordered file."""
+        return (yield from self._rpc.call(self.server_port, "get_block_map",
+                                          name=name))
+
+    def delete(self, name: str):
+        """Delete a file; returns the total number of blocks freed."""
+        return (yield from self._rpc.call(self.server_port, "delete", name=name))
+
+    def open(self, name: str):
+        """Open (a hint, per section 4.1); returns an OpenResult."""
+        return (yield from self._rpc.call(self.server_port, "open", name=name))
+
+    def get_info(self):
+        """The Get Info package for tool construction."""
+        return (yield from self._rpc.call(self.server_port, "get_info"))
+
+    # ------------------------------------------------------------------
+    # Block access
+    # ------------------------------------------------------------------
+
+    def seq_read(self, name: str):
+        """Next block as ``(block_number, data)``; ``(None, None)`` at EOF."""
+        return (yield from self._rpc.call(self.server_port, "seq_read", name=name))
+
+    def seq_write(self, name: str, data: bytes):
+        """Append one block; returns its global block number."""
+        return (
+            yield from self._rpc.call(
+                self.server_port, "seq_write", size=BLOCK_SIZE, name=name, data=data
+            )
+        )
+
+    def random_read(self, name: str, block_number: int):
+        return (
+            yield from self._rpc.call(
+                self.server_port, "random_read", name=name, block_number=block_number
+            )
+        )
+
+    def random_write(self, name: str, block_number: int, data: bytes):
+        return (
+            yield from self._rpc.call(
+                self.server_port,
+                "random_write",
+                size=BLOCK_SIZE,
+                name=name,
+                block_number=block_number,
+                data=data,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-file conveniences
+    # ------------------------------------------------------------------
+
+    def read_all(self, name: str):
+        """Open and sequentially read the whole file; returns data chunks."""
+        yield from self.open(name)
+        chunks = []
+        while True:
+            block_number, data = yield from self.seq_read(name)
+            if block_number is None:
+                return chunks
+            chunks.append(data)
+
+    def write_all(self, name: str, chunks):
+        """Append every chunk in order; returns the number written."""
+        count = 0
+        for chunk in chunks:
+            yield from self.seq_write(name, chunk)
+            count += 1
+        return count

@@ -1,0 +1,131 @@
+"""The parallel-open view: jobs, block deliveries, and worker helpers.
+
+Section 4.1: "A parallel open operation groups several processes into a
+'job.'  The process that issues the parallel open becomes the job
+controller...  When the job controller performs a read operation, t
+blocks will be transferred (one to each worker) with as much parallelism
+as possible.  When the job controller performs a write operation, t
+blocks will be received from the workers in parallel."
+
+If t exceeds the file's interleave width p, the server simulates the
+extra parallelism by performing groups of p disk accesses at a time —
+"virtual parallelism", whose hidden lock-step serialization the views
+ablation bench measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.machine import Client, Port
+
+
+@dataclass
+class BlockDelivery:
+    """One block pushed by the server to one worker during a parallel read."""
+
+    job_id: int
+    worker_index: int
+    block_number: int
+    data: Optional[bytes]
+    eof: bool = False
+
+
+@dataclass
+class Deposit:
+    """One block pushed by a worker to the job port for a parallel write."""
+
+    job_id: int
+    worker_index: int
+    data: bytes
+
+
+@dataclass
+class JobInfo:
+    """What the controller gets back from a parallel open."""
+
+    job_id: int
+    file_name: str
+    width: int
+    total_blocks: int
+    worker_count: int
+    job_port: Port
+
+
+class JobController:
+    """Controller-side helper: issues parallel opens/reads/writes."""
+
+    def __init__(self, node, server_port: Port, name: str = "controller") -> None:
+        self.node = node
+        self.server_port = server_port
+        self._rpc = Client(node, name)
+        self.job: Optional[JobInfo] = None
+
+    def open(self, name: str, worker_ports: List[Port]):
+        """Group the workers into a job on ``name``; returns JobInfo."""
+        job = yield from self._rpc.call(
+            self.server_port, "parallel_open", name=name, worker_ports=worker_ports
+        )
+        self.job = job
+        return job
+
+    def read(self):
+        """Move one block to every worker; returns blocks actually read
+        (workers past EOF receive an eof delivery)."""
+        self._require_job()
+        return (
+            yield from self._rpc.call(
+                self.server_port, "parallel_read", job_id=self.job.job_id
+            )
+        )
+
+    def write(self):
+        """Collect one deposited block from every worker and append them.
+
+        Workers must have called :meth:`ParallelWorker.deposit` (the
+        deposits may be in flight; the server waits for all of them).
+        Returns the file's new total size in blocks.
+        """
+        self._require_job()
+        return (
+            yield from self._rpc.call(
+                self.server_port, "parallel_write", job_id=self.job.job_id
+            )
+        )
+
+    def close(self):
+        """Discard the job's server-side state."""
+        self._require_job()
+        job_id, self.job = self.job.job_id, None
+        return (
+            yield from self._rpc.call(
+                self.server_port, "parallel_close", job_id=job_id
+            )
+        )
+
+    def _require_job(self) -> None:
+        if self.job is None:
+            raise RuntimeError("no job open; call open() first")
+
+
+class ParallelWorker:
+    """Worker-side helper: owns the port the server delivers blocks to."""
+
+    def __init__(self, node, index: int, name: str = "worker") -> None:
+        self.node = node
+        self.index = index
+        self.port = node.port(f"{name}{index}.blocks")
+
+    def receive(self):
+        """Wait for the next :class:`BlockDelivery` from the server."""
+        delivery = yield self.port.recv()
+        return delivery
+
+    def deposit(self, job: JobInfo, data: bytes) -> None:
+        """Send this worker's next block to the job (fire and forget)."""
+        self.node.send(
+            job.job_port,
+            Deposit(job_id=job.job_id, worker_index=self.index, data=data),
+            size=len(data),
+        )

@@ -1,0 +1,106 @@
+"""A distributed collection of Bridge Servers (paper section 4.1).
+
+"In our implementation the Bridge Server is a single centralized
+process, though this need not be the case.  If requests to the server
+are frequent enough to cause a bottleneck, the same functionality could
+be provided by a distributed collection of processes."
+
+This module provides exactly that: the file namespace is hash-partitioned
+across several :class:`~repro.core.server.BridgeServer` instances, each a
+full server over the same LFS set but owning a disjoint slice of names.
+No cross-server coordination is needed because every file belongs to
+exactly one partition — the simplest correct realization of the paper's
+remark, and enough to remove the central-server ceiling the E17 bench
+measures.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+from repro.core.client import BridgeClient
+from repro.core.server import BridgeServer
+from repro.machine import Port
+
+
+def partition_of(name: str, partitions: int) -> int:
+    """Deterministic partition index for a file name."""
+    if partitions < 1:
+        raise ValueError("need at least one partition")
+    return zlib.crc32(name.encode()) % partitions
+
+
+class PartitionedBridge:
+    """Routes each file name to its owning Bridge Server."""
+
+    def __init__(self, servers: List[BridgeServer]) -> None:
+        if not servers:
+            raise ValueError("need at least one Bridge Server")
+        self.servers = list(servers)
+
+    def server_for(self, name: str) -> BridgeServer:
+        return self.servers[partition_of(name, len(self.servers))]
+
+    def port_for(self, name: str) -> Port:
+        return self.server_for(name).port
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+
+class PartitionedClient:
+    """Naive-view client over a partitioned server collection.
+
+    One underlying :class:`BridgeClient` per partition; every operation
+    routes by file name, so callers use it exactly like a plain client.
+    """
+
+    def __init__(self, node, bridge: PartitionedBridge,
+                 name: str = "pclient") -> None:
+        self.node = node
+        self.bridge = bridge
+        self._clients = [
+            BridgeClient(node, server.port, name=f"{name}.{index}")
+            for index, server in enumerate(bridge.servers)
+        ]
+
+    def _client(self, name: str) -> BridgeClient:
+        return self._clients[partition_of(name, len(self._clients))]
+
+    # ------------------------------------------------------------------
+    # Routed operations (same surface as BridgeClient)
+    # ------------------------------------------------------------------
+
+    def create(self, name, **kwargs):
+        return (yield from self._client(name).create(name, **kwargs))
+
+    def delete(self, name):
+        return (yield from self._client(name).delete(name))
+
+    def open(self, name):
+        return (yield from self._client(name).open(name))
+
+    def seq_read(self, name):
+        return (yield from self._client(name).seq_read(name))
+
+    def seq_write(self, name, data):
+        return (yield from self._client(name).seq_write(name, data))
+
+    def random_read(self, name, block_number):
+        return (yield from self._client(name).random_read(name, block_number))
+
+    def random_write(self, name, block_number, data):
+        return (
+            yield from self._client(name).random_write(name, block_number, data)
+        )
+
+    def read_all(self, name):
+        return (yield from self._client(name).read_all(name))
+
+    def write_all(self, name, chunks):
+        return (yield from self._client(name).write_all(name, chunks))
+
+    def get_info(self):
+        """Get Info from partition 0 (all partitions share the LFS set)."""
+        return (yield from self._clients[0].get_info())

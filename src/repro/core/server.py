@@ -1,0 +1,514 @@
+"""The Bridge Server (paper section 4.1, Table 1).
+
+"The Bridge Server is the interface between the Bridge file system and
+user programs.  Its function is to glue the local file systems together
+into a single logical structure."  It is a single centralized process
+(the paper notes a distributed collection would also work); all directory
+mutations (Create, Delete, Open) funnel through it, making it a monitor
+around file management.
+
+Three views are implemented:
+
+1. the **naive view** — Create / Delete / Open / Sequential Read /
+   Random Read / Sequential Write / Random Write, with the server
+   transparently forwarding each block request to the right LFS and
+   threading disk-address hints (the "optimized path" set up by Open);
+2. the **parallel-open view** — jobs of t workers with lock-step
+   multi-block transfers and virtual parallelism when t > p;
+3. the **tool view** — Get Info plus the constituent information that
+   Open returns, after which tools talk to the LFS instances directly.
+
+Open is "interpreted as a hint...  There is no close operation" — the
+server refreshes its cached cursor/size/hint state at every open.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import BLOCK_SIZE, SystemConfig
+from repro.core.directory import BridgeDirectory, BridgeFileEntry
+from repro.core.info import ConstituentInfo, LFSHandle, OpenResult, SystemInfo
+from repro.core.parallel import BlockDelivery, Deposit, JobInfo
+from repro.efs.layout import NULL_ADDR
+from repro.errors import BridgeBadRequestError, BridgeJobError
+from repro.machine import Port, Response, Server, gather
+from repro.sim import Timeout
+
+
+class _Job:
+    """Server-side state of one parallel-open job."""
+
+    __slots__ = ("job_id", "entry", "worker_ports", "cursor", "port")
+
+    def __init__(self, job_id: int, entry: BridgeFileEntry,
+                 worker_ports: List[Port], port: Port) -> None:
+        self.job_id = job_id
+        self.entry = entry
+        self.worker_ports = worker_ports
+        self.cursor = 0
+        self.port = port
+
+
+class BridgeServer(Server):
+    """The centralized Bridge Server process."""
+
+    def __init__(
+        self,
+        node,
+        lfs_handles: List[LFSHandle],
+        config: SystemConfig,
+        relay_ports: Optional[List[Port]] = None,
+        name: str = "bridge",
+        file_id_start: int = 1,
+        file_id_step: int = 1,
+    ) -> None:
+        if not lfs_handles:
+            raise ValueError("Bridge needs at least one LFS instance")
+        super().__init__(node, name)
+        self.lfs = list(lfs_handles)
+        self.config = config
+        self.relay_ports = list(relay_ports) if relay_ports else None
+        self.directory = BridgeDirectory(
+            file_id_start=file_id_start, file_id_step=file_id_step
+        )
+        self._cursors: Dict[str, int] = {}
+        self._hints: Dict[Tuple[str, int], int] = {}
+        self._jobs: Dict[int, _Job] = {}
+        self._next_job_id = 1
+
+    # ==================================================================
+    # File management (the monitor)
+    # ==================================================================
+
+    def op_create(self, name, width=None, node_slots=None, start=0,
+                  disordered=False):
+        """Create an interleaved file across ``width`` LFS instances.
+
+        ``node_slots`` optionally picks which LFS handles (by index into
+        the system's LFS list) serve slots 0..width-1 — the sort tool uses
+        this to build intermediate files on node subsets.  ``disordered``
+        creates a section-3 "disordered file": blocks scatter arbitrarily
+        (the server keeps the global->local map) at the expense of strict
+        interleaving's consecutive-block guarantee.
+        """
+        yield Timeout(
+            self.config.cpu.bridge_request + self.config.cpu.bridge_directory_probe
+        )
+        if self.directory.exists(name):
+            from repro.errors import BridgeFileExistsError
+
+            raise BridgeFileExistsError(f"bridge file {name!r} exists")
+        slots = self._resolve_slots(width, node_slots)
+        width = len(slots)
+        if not 0 <= start < width:
+            raise BridgeBadRequestError(f"start {start} outside width {width}")
+        file_id = self.directory.allocate_file_id()
+        entry = BridgeFileEntry(
+            name=name,
+            file_id=file_id,
+            width=width,
+            start=start,
+            node_indexes=[self.lfs[s].node_index for s in slots],
+            efs_file_numbers=[file_id] * width,
+            total_blocks=0,
+            disordered=disordered,
+            block_map=[] if disordered else None,
+        )
+        args_per_slot = [
+            {
+                "file_number": file_id,
+                "global_file_id": file_id,
+                "width": width,
+                "column": entry.interleave.column_of_slot(slot),
+            }
+            for slot in range(width)
+        ]
+        if self.config.create_uses_tree and self.relay_ports is not None:
+            yield from self._create_tree(slots, args_per_slot)
+        else:
+            yield from self._create_sequential(slots, args_per_slot)
+        self.directory.insert(entry)
+        yield Timeout(self.config.cpu.bridge_directory_update)
+        self._cursors[name] = 0
+        return file_id
+
+    def _create_sequential(self, slots, args_per_slot):
+        """Paper behavior: initiation and termination are sequential,
+        the LFS work itself overlaps (section 4.5)."""
+        reply_ports = []
+        for slot, args in zip(slots, args_per_slot):
+            yield Timeout(self.config.cpu.bridge_create_dispatch)
+            reply_port = self.node.port()
+            from repro.machine.rpc import Request
+
+            self.node.send(self.lfs[slot].port, Request("create", args, reply_port))
+            reply_ports.append(reply_port)
+        for reply_port in reply_ports:
+            response = yield reply_port.recv()
+            if response.error is not None:
+                raise response.error
+
+    def _create_tree(self, slots, args_per_slot):
+        """Improved behavior: one message to the first relay, which fans
+        out through an embedded binary tree (O(log p) critical path)."""
+        entries = [
+            {
+                "efs_port": self.lfs[slot].port,
+                "relay_port": self.relay_ports[slot],
+                "args": args,
+            }
+            for slot, args in zip(slots, args_per_slot)
+        ]
+        yield Timeout(self.config.cpu.bridge_create_dispatch)
+        results = yield from gather(
+            self.node,
+            [(entries[0]["relay_port"], "relay",
+              {"entries": entries, "relay_method": "create"}, 0)],
+        )
+        return results[0]
+
+    def op_delete(self, name):
+        """Delete on all LFS in parallel; each LFS walk is O(n/p).
+
+        Directory removal happens synchronously (the server is the
+        monitor around file management), but the LFS walks — seconds for
+        big files — run detached so one large delete does not serialize
+        every other client behind the central server.
+        """
+        yield Timeout(
+            self.config.cpu.bridge_request + self.config.cpu.bridge_directory_probe
+        )
+        entry = self.directory.lookup(name)
+        self.directory.remove(name)
+        yield Timeout(self.config.cpu.bridge_directory_update)
+        self._cursors.pop(name, None)
+        for slot in range(entry.width):
+            self._hints.pop((name, slot), None)
+
+        def reap():
+            calls = [
+                (self._slot_port(entry, slot), "delete",
+                 {"file_number": entry.efs_file_numbers[slot]}, 0)
+                for slot in range(entry.width)
+            ]
+            freed = yield from gather(self.node, calls)
+            return sum(freed)
+
+        from repro.machine.rpc import Detached
+
+        return Detached(reap())
+
+    def op_open(self, name):
+        """Set up the optimized path: refresh sizes and hints, reset the
+        sequential cursor, and return the constituent information."""
+        yield Timeout(
+            self.config.cpu.bridge_request + self.config.cpu.bridge_directory_probe
+        )
+        entry = self.directory.lookup(name)
+        calls = [
+            (self._slot_port(entry, slot), "info",
+             {"file_number": entry.efs_file_numbers[slot]}, 0)
+            for slot in range(entry.width)
+        ]
+        infos = yield from gather(self.node, calls)
+        sizes = [info.size_blocks for info in infos]
+        if entry.disordered:
+            if sum(sizes) != len(entry.block_map or []):
+                raise BridgeBadRequestError(
+                    f"{name!r}: disordered map has {len(entry.block_map or [])} "
+                    f"entries but the LFS hold {sum(sizes)} blocks (disordered "
+                    "files must be written through the Bridge Server)"
+                )
+            entry.total_blocks = sum(sizes)
+        else:
+            entry.total_blocks = entry.interleave.total_from_sizes(sizes)
+        constituents = []
+        for slot, info in enumerate(infos):
+            constituents.append(
+                ConstituentInfo(
+                    slot=slot,
+                    column=entry.interleave.column_of_slot(slot),
+                    node_index=entry.node_indexes[slot],
+                    lfs_port=self._slot_port(entry, slot),
+                    efs_file_number=entry.efs_file_numbers[slot],
+                    size_blocks=info.size_blocks,
+                    head_addr=info.head_addr,
+                )
+            )
+            self._hints[(name, slot)] = info.head_addr
+        self._cursors[name] = 0
+        return OpenResult(
+            name=name,
+            file_id=entry.file_id,
+            width=entry.width,
+            start=entry.start,
+            total_blocks=entry.total_blocks,
+            constituents=constituents,
+        )
+
+    def op_get_info(self):
+        """The tool bootstrap package (Table 1: Get Info -> LFS handles)."""
+        yield Timeout(self.config.cpu.bridge_request)
+        return SystemInfo(lfs=list(self.lfs), server_port=self.port)
+
+    # ==================================================================
+    # Naive view: sequential and random block access
+    # ==================================================================
+
+    def op_seq_read(self, name):
+        """Read the block at the cursor; returns (block_number, data) or
+        (None, None) at end of file.
+
+        The cursor advances synchronously; the LFS transfer itself is
+        *forwarded* (detached), so the central server only spends routing
+        time per request — "the Bridge Server transparently forwards
+        requests to the appropriate LFS" (section 4.1).
+        """
+        yield Timeout(self.config.cpu.bridge_request)
+        entry = self.directory.lookup(name)
+        cursor = self._cursors.get(name, 0)
+        if cursor >= entry.total_blocks:
+            return Response(value=(None, None))
+        self._cursors[name] = cursor + 1
+
+        def forward():
+            data = yield from self._read_global(entry, name, cursor)
+            return Response(value=(cursor, data), size=len(data))
+
+        from repro.machine.rpc import Detached
+
+        return Detached(forward())
+
+    def op_seq_write(self, name, data):
+        """Append one block at the end of the file."""
+        yield Timeout(self.config.cpu.bridge_request)
+        entry = self.directory.lookup(name)
+        block = entry.total_blocks
+        yield from self._write_global(entry, name, block, data)
+        entry.total_blocks = block + 1
+        return block
+
+    def op_random_read(self, name, block_number):
+        """Random read; the LFS transfer is forwarded like op_seq_read."""
+        yield Timeout(self.config.cpu.bridge_request)
+        entry = self.directory.lookup(name)
+        if not 0 <= block_number < entry.total_blocks:
+            raise BridgeBadRequestError(
+                f"{name!r}: block {block_number} outside file of "
+                f"{entry.total_blocks} blocks"
+            )
+
+        def forward():
+            data = yield from self._read_global(entry, name, block_number)
+            return Response(value=data, size=len(data))
+
+        from repro.machine.rpc import Detached
+
+        return Detached(forward())
+
+    def op_get_block_map(self, name):
+        """The global->local map of a disordered file (tool view)."""
+        yield Timeout(self.config.cpu.bridge_request)
+        entry = self.directory.lookup(name)
+        if not entry.disordered:
+            raise BridgeBadRequestError(f"{name!r} is strictly interleaved")
+        return list(entry.block_map or [])
+
+    def op_random_write(self, name, block_number, data):
+        yield Timeout(self.config.cpu.bridge_request)
+        entry = self.directory.lookup(name)
+        if not 0 <= block_number <= entry.total_blocks:
+            raise BridgeBadRequestError(
+                f"{name!r}: block {block_number} outside writable range "
+                f"[0, {entry.total_blocks}]"
+            )
+        yield from self._write_global(entry, name, block_number, data)
+        if block_number == entry.total_blocks:
+            entry.total_blocks += 1
+        return block_number
+
+    # ==================================================================
+    # Parallel-open view
+    # ==================================================================
+
+    def op_parallel_open(self, name, worker_ports):
+        yield Timeout(
+            self.config.cpu.bridge_request + self.config.cpu.bridge_directory_probe
+        )
+        if not worker_ports:
+            raise BridgeJobError("parallel open needs at least one worker")
+        entry = self.directory.lookup(name)
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        job = _Job(job_id, entry, list(worker_ports), self.node.port(f"job{job_id}"))
+        self._jobs[job_id] = job
+        return JobInfo(
+            job_id=job_id,
+            file_name=name,
+            width=entry.width,
+            total_blocks=entry.total_blocks,
+            worker_count=len(job.worker_ports),
+            job_port=job.port,
+        )
+
+    def op_parallel_read(self, job_id):
+        """Deliver the next t blocks, one per worker, p at a time.
+
+        "Although the performance of parallel operations is limited by
+        the number of nodes in the file system (p), the Bridge Server
+        will simulate any degree of parallelism" — groups of p accesses
+        run in parallel; successive groups are sequential (lock step).
+        """
+        yield Timeout(self.config.cpu.bridge_request)
+        job = self._job(job_id)
+        entry = job.entry
+        t = len(job.worker_ports)
+        delivered = 0
+        for group_start in range(0, t, entry.width):
+            group = []
+            for index in range(group_start, min(group_start + entry.width, t)):
+                block = job.cursor + index
+                if block < entry.total_blocks:
+                    group.append((index, block))
+                else:
+                    self.node.send(
+                        job.worker_ports[index],
+                        BlockDelivery(job_id, index, block, None, eof=True),
+                    )
+            if not group:
+                continue
+            calls = []
+            for _index, block in group:
+                slot, local = entry.locate_block(block)
+                calls.append(
+                    (self._slot_port(entry, slot), "read",
+                     {"file_number": entry.efs_file_numbers[slot],
+                      "block_number": local,
+                      "hint": self._hints.get((entry.name, slot))}, 0)
+                )
+            results = yield from gather(self.node, calls)
+            for (index, block), result in zip(group, results):
+                slot, _local = entry.locate_block(block)
+                self._hints[(entry.name, slot)] = result.next_addr
+                self.node.send(
+                    job.worker_ports[index],
+                    BlockDelivery(job_id, index, block, result.data),
+                    size=len(result.data),
+                )
+                delivered += 1
+        job.cursor += t
+        return delivered
+
+    def op_parallel_write(self, job_id):
+        """Collect one deposit per worker and append them in order."""
+        yield Timeout(self.config.cpu.bridge_request)
+        job = self._job(job_id)
+        entry = job.entry
+        if entry.disordered:
+            raise BridgeJobError(
+                f"{entry.name!r}: parallel write is not supported on "
+                "disordered files (use the naive view)"
+            )
+        t = len(job.worker_ports)
+        deposits: Dict[int, bytes] = {}
+        while len(deposits) < t:
+            message = yield job.port.recv()
+            if not isinstance(message, Deposit) or message.job_id != job_id:
+                raise BridgeJobError(f"job {job_id}: unexpected message {message!r}")
+            if message.worker_index in deposits:
+                raise BridgeJobError(
+                    f"job {job_id}: duplicate deposit from worker "
+                    f"{message.worker_index}"
+                )
+            deposits[message.worker_index] = message.data
+        base = entry.total_blocks
+        for group_start in range(0, t, entry.width):
+            calls = []
+            for index in range(group_start, min(group_start + entry.width, t)):
+                block = base + index
+                slot, local = entry.interleave.locate(block)
+                calls.append(
+                    (self._slot_port(entry, slot), "write",
+                     {"file_number": entry.efs_file_numbers[slot],
+                      "block_number": local,
+                      "data": deposits[index],
+                      "hint": None}, BLOCK_SIZE)
+                )
+            yield from gather(self.node, calls)
+        entry.total_blocks = base + t
+        job.cursor = entry.total_blocks
+        return entry.total_blocks
+
+    def op_parallel_close(self, job_id):
+        yield Timeout(self.config.cpu.bridge_request)
+        self._job(job_id)
+        del self._jobs[job_id]
+        return None
+
+    # ==================================================================
+    # Internals
+    # ==================================================================
+
+    def _resolve_slots(self, width, node_slots):
+        if node_slots is not None:
+            slots = list(node_slots)
+            if width is not None and width != len(slots):
+                raise BridgeBadRequestError(
+                    f"width {width} != len(node_slots) {len(slots)}"
+                )
+        else:
+            slots = list(range(width if width is not None else len(self.lfs)))
+        if not slots:
+            raise BridgeBadRequestError("file needs at least one slot")
+        for slot in slots:
+            if not 0 <= slot < len(self.lfs):
+                raise BridgeBadRequestError(
+                    f"LFS index {slot} outside [0, {len(self.lfs)})"
+                )
+        return slots
+
+    def _slot_port(self, entry: BridgeFileEntry, slot: int) -> Port:
+        node_index = entry.node_indexes[slot]
+        for handle in self.lfs:
+            if handle.node_index == node_index:
+                return handle.port
+        raise BridgeBadRequestError(f"no LFS on node {node_index}")
+
+    def _job(self, job_id: int) -> _Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise BridgeJobError(f"unknown job {job_id}")
+        return job
+
+    def _read_global(self, entry: BridgeFileEntry, name: str, block: int):
+        slot, local = entry.locate_block(block)
+        results = yield from gather(
+            self.node,
+            [(self._slot_port(entry, slot), "read",
+              {"file_number": entry.efs_file_numbers[slot],
+               "block_number": local,
+               "hint": self._hints.get((name, slot))}, 0)],
+        )
+        result = results[0]
+        self._hints[(name, slot)] = result.next_addr
+        return result.data
+
+    def _write_global(self, entry: BridgeFileEntry, name: str, block: int, data):
+        if entry.disordered and block == len(entry.block_map):
+            # scattered append: any slot will do (section 3's relaxation)
+            rng = self.node.machine.sim.random.stream("bridge.disorder")
+            slot = rng.randrange(entry.width)
+            local = sum(1 for s, _l in entry.block_map if s == slot)
+            entry.block_map.append((slot, local))
+        else:
+            slot, local = entry.locate_block(block)
+        results = yield from gather(
+            self.node,
+            [(self._slot_port(entry, slot), "write",
+              {"file_number": entry.efs_file_numbers[slot],
+               "block_number": local,
+               "data": data,
+               "hint": None}, BLOCK_SIZE)],
+        )
+        return results[0]

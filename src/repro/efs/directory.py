@@ -1,0 +1,167 @@
+"""The EFS directory: a flat, hashed, on-disk namespace.
+
+Section 4.3: "EFS is a simple, stateless file system with a flat name
+space and no access control.  File names are numbers that are used to hash
+into a directory.  ...  A pointer to the first block of a file can be
+found in the file's EFS directory entry."
+
+The directory occupies a reserved region of block addresses
+``[0, bucket_count)`` at the front of the device.  Each bucket block holds
+packed fixed-size entries; lookups and updates go through the block cache,
+so directory I/O pays realistic device costs (and benefits from caching —
+the paper notes directory caching is "less effective for writes than it
+is for reads").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import BLOCK_SIZE
+from repro.errors import (
+    EFSFileExistsError,
+    EFSFileNotFoundError,
+    EFSOutOfSpaceError,
+)
+from repro.efs.layout import NULL_ADDR
+
+_ENTRY_FMT = "<qiiqii"  # file_number, head_addr, flags, gfid, width, column
+_ENTRY_SIZE = struct.calcsize(_ENTRY_FMT)  # 32 bytes
+_ENTRIES_PER_BUCKET = BLOCK_SIZE // _ENTRY_SIZE
+
+#: Marker for an unused entry slot (file numbers are non-negative).
+_EMPTY = -1
+
+
+@dataclass
+class DirectoryEntry:
+    """One file's directory record."""
+
+    file_number: int
+    head_addr: int = NULL_ADDR
+    flags: int = 0
+    #: Bridge metadata for constituent files (0/1/0 for plain local files).
+    global_file_id: int = 0
+    width: int = 1
+    column: int = 0
+
+
+def _pack_bucket(entries: List[DirectoryEntry]) -> bytes:
+    out = bytearray()
+    for entry in entries:
+        out += struct.pack(
+            _ENTRY_FMT,
+            entry.file_number,
+            entry.head_addr,
+            entry.flags,
+            entry.global_file_id,
+            entry.width,
+            entry.column,
+        )
+    free_slots = _ENTRIES_PER_BUCKET - len(entries)
+    out += struct.pack(_ENTRY_FMT, _EMPTY, 0, 0, 0, 0, 0) * free_slots
+    return bytes(out).ljust(BLOCK_SIZE, b"\x00")
+
+
+def _unpack_bucket(raw: bytes) -> List[DirectoryEntry]:
+    entries = []
+    for slot in range(_ENTRIES_PER_BUCKET):
+        fields = struct.unpack_from(_ENTRY_FMT, raw, slot * _ENTRY_SIZE)
+        # Empty slots are marked with file_number = -1; a never-written
+        # bucket reads as zeros, which is recognizable by width == 0
+        # (every real entry has interleave width >= 1).
+        if fields[0] < 0 or fields[4] < 1:
+            continue
+        entries.append(DirectoryEntry(*fields))
+    return entries
+
+
+class Directory:
+    """Hashed directory over a reserved on-disk bucket region."""
+
+    def __init__(self, cache, bucket_count: int = 64) -> None:
+        if bucket_count < 1:
+            raise ValueError("directory needs at least one bucket")
+        self.cache = cache
+        self.bucket_count = bucket_count
+
+    # ------------------------------------------------------------------
+
+    def bucket_of(self, file_number: int) -> int:
+        """The bucket block address for a file number."""
+        return (file_number * 0x9E3779B1) % self.bucket_count
+
+    @property
+    def first_data_block(self) -> int:
+        """First address past the directory region (free-list start)."""
+        return self.bucket_count
+
+    # ------------------------------------------------------------------
+    # Generator API (all operations do cached device I/O)
+    # ------------------------------------------------------------------
+
+    def lookup(self, file_number: int):
+        """Find a file's entry or raise :class:`EFSFileNotFoundError`."""
+        entries = yield from self._load(self.bucket_of(file_number))
+        for entry in entries:
+            if entry.file_number == file_number:
+                return entry
+        raise EFSFileNotFoundError(f"EFS file {file_number} not found")
+
+    def exists(self, file_number: int):
+        entries = yield from self._load(self.bucket_of(file_number))
+        return any(e.file_number == file_number for e in entries)
+
+    def insert(self, entry: DirectoryEntry):
+        """Add a new entry; the file number must be free."""
+        if entry.file_number < 0:
+            raise ValueError("file numbers must be non-negative")
+        bucket = self.bucket_of(entry.file_number)
+        entries = yield from self._load(bucket)
+        if any(e.file_number == entry.file_number for e in entries):
+            raise EFSFileExistsError(f"EFS file {entry.file_number} exists")
+        if len(entries) >= _ENTRIES_PER_BUCKET:
+            raise EFSOutOfSpaceError(
+                f"directory bucket {bucket} full "
+                f"({_ENTRIES_PER_BUCKET} entries); use more buckets"
+            )
+        entries.append(entry)
+        yield from self._store(bucket, entries)
+
+    def update(self, entry: DirectoryEntry):
+        """Rewrite an existing entry (e.g. head pointer after first append)."""
+        bucket = self.bucket_of(entry.file_number)
+        entries = yield from self._load(bucket)
+        for index, existing in enumerate(entries):
+            if existing.file_number == entry.file_number:
+                entries[index] = entry
+                yield from self._store(bucket, entries)
+                return
+        raise EFSFileNotFoundError(f"EFS file {entry.file_number} not found")
+
+    def remove(self, file_number: int):
+        bucket = self.bucket_of(file_number)
+        entries = yield from self._load(bucket)
+        remaining = [e for e in entries if e.file_number != file_number]
+        if len(remaining) == len(entries):
+            raise EFSFileNotFoundError(f"EFS file {file_number} not found")
+        yield from self._store(bucket, remaining)
+
+    def list_files(self):
+        """All file numbers on this LFS (a full directory scan)."""
+        numbers = []
+        for bucket in range(self.bucket_count):
+            entries = yield from self._load(bucket)
+            numbers.extend(e.file_number for e in entries)
+        return sorted(numbers)
+
+    # ------------------------------------------------------------------
+
+    def _load(self, bucket: int):
+        raw = yield from self.cache.read(bucket, prefetch=False)
+        return _unpack_bucket(raw)
+
+    def _store(self, bucket: int, entries: List[DirectoryEntry]):
+        yield from self.cache.write_through(bucket, _pack_bucket(entries))

@@ -1,0 +1,80 @@
+"""Free-block management for one EFS instance.
+
+A simple in-memory bitmap (the paper's EFS does not describe its allocator;
+persistence of the free map is not modeled — each operation is charged
+``cpu.efs_free_op`` instead, which is where a real implementation would pay
+for its allocation bookkeeping I/O).
+
+Allocation is lowest-address-first, which gives sequentially written files
+physically contiguous blocks — that contiguity is what makes the cache's
+full-track buffering effective for sequential reads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from repro.errors import EFSOutOfSpaceError
+
+
+class FreeList:
+    """Tracks free block addresses in ``[start, capacity)``."""
+
+    def __init__(self, capacity: int, start: int = 0) -> None:
+        if not 0 <= start <= capacity:
+            raise ValueError(f"bad free region [{start}, {capacity})")
+        self.capacity = capacity
+        self.start = start
+        self._free: Set[int] = set(range(start, capacity))
+        self._next_probe = start
+
+    # ------------------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Claim and return the lowest free address."""
+        if not self._free:
+            raise EFSOutOfSpaceError(
+                f"no free blocks (capacity {self.capacity}, start {self.start})"
+            )
+        # Fast path: probe sequentially from the last allocation point so
+        # fresh files get contiguous runs without an O(n) min() per call.
+        probe = self._next_probe
+        while probe < self.capacity:
+            if probe in self._free:
+                self._free.remove(probe)
+                self._next_probe = probe + 1
+                return probe
+            probe += 1
+        address = min(self._free)
+        self._free.remove(address)
+        self._next_probe = address + 1
+        return address
+
+    def free(self, address: int) -> None:
+        """Return a block to the pool; double frees are programming errors."""
+        if not self.start <= address < self.capacity:
+            raise ValueError(f"address {address} outside free region")
+        if address in self._free:
+            raise ValueError(f"double free of block {address}")
+        self._free.add(address)
+        if address < self._next_probe:
+            self._next_probe = address
+
+    # ------------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_count(self) -> int:
+        return (self.capacity - self.start) - len(self._free)
+
+    def is_free(self, address: int) -> bool:
+        return address in self._free
+
+    def iter_free(self) -> Iterator[int]:
+        return iter(sorted(self._free))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FreeList({self.allocated_count} used / {self.capacity - self.start})"

@@ -1,0 +1,121 @@
+"""On-disk block layout for EFS files (paper section 4.3).
+
+Each 1024-byte block carries:
+
+* a 24-byte EFS header — doubly-linked-list pointers plus the owning file
+  number and local block number ("each block also contains its file number
+  and block number");
+* a 40-byte Bridge header "taken from the data storage area of each
+  block" — the global identity of the block within its interleaved file
+  (global file id, global block number, interleave width, column);
+* 960 bytes of user data.
+
+The pointers in the EFS header "lead to blocks that are interpreted as
+adjacent within the local context.  In other words, the block pointed to
+by the next pointer is p blocks away in the Bridge file."
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.config import (
+    BLOCK_SIZE,
+    BRIDGE_HEADER_SIZE,
+    DATA_BYTES_PER_BLOCK,
+    EFS_HEADER_SIZE,
+)
+from repro.errors import EFSCorruptionError
+
+#: Sentinel disk address meaning "no block".
+NULL_ADDR = -1
+
+#: Magic tag marking a valid EFS block header.
+EFS_MAGIC = 0x45465342  # "EFSB"
+
+_EFS_HEADER_FMT = "<iiqiI"  # next, prev, file_number, block_number, magic
+_BRIDGE_HEADER_FMT = "<qqiiii8x"  # gfid, gblock, width, start, column, flags
+
+assert struct.calcsize(_EFS_HEADER_FMT) == EFS_HEADER_SIZE
+assert struct.calcsize(_BRIDGE_HEADER_FMT) == BRIDGE_HEADER_SIZE
+
+
+@dataclass
+class EFSHeader:
+    """The Cronus-inherited per-block header (local linked-list identity)."""
+
+    next_addr: int = NULL_ADDR
+    prev_addr: int = NULL_ADDR
+    file_number: int = 0
+    block_number: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _EFS_HEADER_FMT,
+            self.next_addr,
+            self.prev_addr,
+            self.file_number,
+            self.block_number,
+            EFS_MAGIC,
+        )
+
+
+@dataclass
+class BridgeHeader:
+    """The Bridge extension: the block's identity in the interleaved file."""
+
+    global_file_id: int = 0
+    global_block: int = 0
+    width: int = 1
+    start_node: int = 0
+    column: int = 0
+    flags: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _BRIDGE_HEADER_FMT,
+            self.global_file_id,
+            self.global_block,
+            self.width,
+            self.start_node,
+            self.column,
+            self.flags,
+        )
+
+
+def pack_block(efs: EFSHeader, bridge: BridgeHeader, data: bytes) -> bytes:
+    """Assemble one on-disk block; ``data`` is padded to 960 bytes."""
+    if len(data) > DATA_BYTES_PER_BLOCK:
+        raise ValueError(
+            f"block data {len(data)} exceeds {DATA_BYTES_PER_BLOCK} bytes"
+        )
+    payload = data.ljust(DATA_BYTES_PER_BLOCK, b"\x00")
+    return efs.pack() + bridge.pack() + payload
+
+
+def unpack_block(raw: bytes) -> Tuple[EFSHeader, BridgeHeader, bytes]:
+    """Parse one on-disk block, validating size and magic."""
+    if len(raw) != BLOCK_SIZE:
+        raise EFSCorruptionError(f"block is {len(raw)} bytes, expected {BLOCK_SIZE}")
+    next_addr, prev_addr, file_number, block_number, magic = struct.unpack_from(
+        _EFS_HEADER_FMT, raw, 0
+    )
+    if magic != EFS_MAGIC:
+        raise EFSCorruptionError(f"bad block magic {magic:#x}")
+    gfid, gblock, width, start, column, flags = struct.unpack_from(
+        _BRIDGE_HEADER_FMT, raw, EFS_HEADER_SIZE
+    )
+    efs = EFSHeader(next_addr, prev_addr, file_number, block_number)
+    bridge = BridgeHeader(gfid, gblock, width, start, column, flags)
+    data = raw[EFS_HEADER_SIZE + BRIDGE_HEADER_SIZE :]
+    return efs, bridge, data
+
+
+def is_efs_block(raw: bytes) -> bool:
+    """Cheap validity probe used when verifying hints."""
+    if len(raw) != BLOCK_SIZE:
+        return False
+    (magic,) = struct.unpack_from("<I", raw, EFS_HEADER_SIZE - 4)
+    return magic == EFS_MAGIC

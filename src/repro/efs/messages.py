@@ -1,0 +1,52 @@
+"""Typed payloads exchanged with EFS servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.efs.layout import NULL_ADDR
+
+
+@dataclass
+class ReadResult:
+    """Answer to a block read.
+
+    ``next_addr``/``prev_addr`` are the on-disk linked-list pointers; a
+    sequential reader passes ``next_addr`` back as the *hint* of its next
+    request, which lets the stateless server find the block without any
+    directory or list traversal (section 4.3).
+    """
+
+    file_number: int
+    block_number: int
+    data: bytes
+    addr: int
+    next_addr: int = NULL_ADDR
+    prev_addr: int = NULL_ADDR
+    global_block: int = 0
+
+
+@dataclass
+class WriteResult:
+    """Answer to a block write/append: where the block landed."""
+
+    file_number: int
+    block_number: int
+    addr: int
+
+
+@dataclass
+class FileInfo:
+    """Answer to an info request (also what Get Info returns per LFS)."""
+
+    file_number: int
+    size_blocks: int
+    head_addr: int
+    global_file_id: int = 0
+    width: int = 1
+    column: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.size_blocks == 0

@@ -1,0 +1,348 @@
+"""The EFS server: one stateless local file system instance.
+
+This is the middle layer of Bridge (section 4.3), adapted from the Cronus
+Elementary File System:
+
+* flat namespace of numeric file names, hashed into an on-disk directory;
+* files are doubly linked *circular* lists of blocks; the directory holds
+  a pointer to the first block; each block carries its file number and
+  block number;
+* every request may carry a disk-address *hint*; the server locates a
+  block by walking from the closest of three places: the beginning, the
+  end (the head's ``prev``), or the hint — provided the hint points into
+  the correct file;
+* stateless: there is no open-file table; nothing needs to happen at
+  open time, and the server can be restarted between any two requests.
+
+Deletion retains the Cronus "resiliency remnant" the paper measures in
+Table 2: it walks the file sequentially, re-reading every block from the
+device (bypassing the track buffer) and explicitly freeing it — O(n/p)
+per LFS at roughly 20 ms per block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.config import DATA_BYTES_PER_BLOCK, SystemConfig
+from repro.efs.cache import BlockCache
+from repro.efs.directory import Directory, DirectoryEntry
+from repro.efs.freelist import FreeList
+from repro.efs.layout import (
+    NULL_ADDR,
+    BridgeHeader,
+    EFSHeader,
+    pack_block,
+    unpack_block,
+)
+from repro.efs.messages import FileInfo, ReadResult, WriteResult
+from repro.errors import EFSBlockNotFoundError, EFSCorruptionError
+from repro.machine import Response, Server
+from repro.sim import Timeout
+
+
+class EFSServer(Server):
+    """One local file system instance bound to a node and its disk."""
+
+    def __init__(
+        self,
+        node,
+        disk,
+        config: SystemConfig,
+        name: Optional[str] = None,
+        directory_buckets: int = 64,
+    ) -> None:
+        super().__init__(node, name or f"efs{node.index}")
+        self.disk = disk
+        self.config = config
+        self.cache = BlockCache(
+            disk,
+            capacity=config.efs_cache_blocks,
+            track_blocks=getattr(config, "efs_track_buffer_blocks", 4),
+            hit_cpu=config.cpu.efs_cache_hit,
+        )
+        self.directory = Directory(self.cache, bucket_count=directory_buckets)
+        self.freelist = FreeList(
+            disk.params.capacity_blocks, start=self.directory.first_data_block
+        )
+        node.lfs_port = self.port
+        node.disk = disk
+
+    # ==================================================================
+    # Operations (RPC handlers)
+    # ==================================================================
+
+    def op_create(self, file_number, global_file_id=0, width=1, column=0):
+        """Create an empty file; errors if the number already exists."""
+        yield Timeout(self.config.cpu.efs_request)
+        entry = DirectoryEntry(
+            file_number=file_number,
+            head_addr=NULL_ADDR,
+            global_file_id=global_file_id,
+            width=width,
+            column=column,
+        )
+        yield from self.directory.insert(entry)
+        return file_number
+
+    def op_delete(self, file_number):
+        """Free every block sequentially (the slow, resilient Cronus walk)."""
+        yield Timeout(self.config.cpu.efs_request)
+        entry = yield from self.directory.lookup(file_number)
+        freed = 0
+        addr = entry.head_addr
+        while addr != NULL_ADDR:
+            # Resilient deletion verifies each block on the device itself
+            # rather than trusting cached copies.  (Under write-behind the
+            # authoritative copy may still be in the cache, so the walk
+            # goes through it there.)
+            if self.config.efs_write_behind:
+                raw = yield from self.cache.read(addr, prefetch=False)
+            else:
+                raw = yield from self.disk.read(addr)
+            header, _bridge, _data = unpack_block(raw)
+            self._check_owner(header, file_number, addr)
+            yield Timeout(self.config.cpu.efs_free_op)
+            self.freelist.free(addr)
+            self.cache.invalidate(addr)
+            freed += 1
+            addr = header.next_addr
+            if addr == entry.head_addr:
+                break
+        yield from self.directory.remove(file_number)
+        return freed
+
+    def op_read(self, file_number, block_number, hint=None):
+        """Read one block; the response carries the list pointers as hints."""
+        yield Timeout(self.config.cpu.efs_request)
+        located = yield from self._try_hint(file_number, block_number, hint)
+        if located is None:
+            entry = yield from self.directory.lookup(file_number)
+            located = yield from self._locate(entry, block_number, hint)
+        addr, header, bridge, data = located
+        result = ReadResult(
+            file_number=file_number,
+            block_number=block_number,
+            data=data,
+            addr=addr,
+            next_addr=header.next_addr,
+            prev_addr=header.prev_addr,
+            global_block=bridge.global_block,
+        )
+        return Response(value=result, size=len(data))
+
+    def op_write(self, file_number, block_number, data, hint=None):
+        """Write block ``block_number``: in-place if it exists, append if it
+        is exactly one past the end (no sparse files)."""
+        yield Timeout(self.config.cpu.efs_request)
+        if len(data) > DATA_BYTES_PER_BLOCK:
+            raise ValueError(
+                f"write of {len(data)} bytes exceeds data area "
+                f"{DATA_BYTES_PER_BLOCK}"
+            )
+        located = yield from self._try_hint(file_number, block_number, hint)
+        if located is not None:
+            addr, header, bridge, _old = located
+            yield from self._overwrite(addr, header, bridge, data)
+            return WriteResult(file_number, block_number, addr)
+        entry = yield from self.directory.lookup(file_number)
+        size = yield from self._file_size(entry)
+        if block_number == size:
+            block_number, addr = yield from self._append(entry, size, data)
+            return WriteResult(file_number, block_number, addr)
+        if block_number > size:
+            raise EFSBlockNotFoundError(
+                f"file {file_number}: cannot write block {block_number} "
+                f"past end (size {size}); sparse files are not supported"
+            )
+        addr, header, bridge, _old = yield from self._locate(
+            entry, block_number, hint
+        )
+        yield from self._overwrite(addr, header, bridge, data)
+        return WriteResult(file_number, block_number, addr)
+
+    def op_append(self, file_number, data):
+        """Append one block at the end of the file."""
+        yield Timeout(self.config.cpu.efs_request)
+        if len(data) > DATA_BYTES_PER_BLOCK:
+            raise ValueError(
+                f"append of {len(data)} bytes exceeds data area "
+                f"{DATA_BYTES_PER_BLOCK}"
+            )
+        entry = yield from self.directory.lookup(file_number)
+        size = yield from self._file_size(entry)
+        block_number, addr = yield from self._append(entry, size, data)
+        return WriteResult(file_number, block_number, addr)
+
+    def op_info(self, file_number):
+        """Size and placement facts about one file."""
+        yield Timeout(self.config.cpu.efs_request)
+        entry = yield from self.directory.lookup(file_number)
+        size = yield from self._file_size(entry)
+        return FileInfo(
+            file_number=file_number,
+            size_blocks=size,
+            head_addr=entry.head_addr,
+            global_file_id=entry.global_file_id,
+            width=entry.width,
+            column=entry.column,
+        )
+
+    def op_exists(self, file_number):
+        yield Timeout(self.config.cpu.efs_request)
+        return (yield from self.directory.exists(file_number))
+
+    def op_list_files(self):
+        yield Timeout(self.config.cpu.efs_request)
+        return (yield from self.directory.list_files())
+
+    def op_flush(self):
+        """Write back all dirty cached blocks (used at quiesce points)."""
+        yield from self.cache.flush()
+        return None
+
+    # ==================================================================
+    # Internals
+    # ==================================================================
+
+    def _check_owner(self, header: EFSHeader, file_number: int, addr: int) -> None:
+        if header.file_number != file_number:
+            raise EFSCorruptionError(
+                f"block {addr} belongs to file {header.file_number}, "
+                f"expected {file_number}"
+            )
+
+    def _load(self, addr: int, prefetch: bool = True):
+        raw = yield from self.cache.read(addr, prefetch=prefetch)
+        return unpack_block(raw)
+
+    def _try_hint(self, file_number: int, block_number: int, hint):
+        """Serve directly from a hint when it names exactly the right block."""
+        if hint is None or hint == NULL_ADDR:
+            return None
+        if not 0 <= hint < self.disk.params.capacity_blocks:
+            return None
+        if hint < self.directory.first_data_block:
+            return None
+        try:
+            header, bridge, data = yield from self._load(hint)
+        except EFSCorruptionError:
+            return None
+        if header.file_number != file_number:
+            return None  # hint points outside the file: ignore it
+        if header.block_number != block_number:
+            return None  # right file, wrong block: the walk can still use it
+        return hint, header, bridge, data
+
+    def _file_size(self, entry: DirectoryEntry):
+        """Size = tail block number + 1; the tail is the head's ``prev``."""
+        if entry.head_addr == NULL_ADDR:
+            return 0
+        head, _bridge, _data = yield from self._load(entry.head_addr)
+        if head.prev_addr == entry.head_addr:
+            return head.block_number + 1
+        tail, _bridge2, _data2 = yield from self._load(head.prev_addr)
+        return tail.block_number + 1
+
+    def _locate(self, entry: DirectoryEntry, block_number: int, hint):
+        """Walk the list from the closest of beginning / end / hint."""
+        if entry.head_addr == NULL_ADDR:
+            raise EFSBlockNotFoundError(
+                f"file {entry.file_number} is empty; no block {block_number}"
+            )
+        size = yield from self._file_size(entry)
+        if block_number >= size or block_number < 0:
+            raise EFSBlockNotFoundError(
+                f"file {entry.file_number} has {size} blocks; "
+                f"no block {block_number}"
+            )
+        # Candidate starting points: (distance, addr, that block's number)
+        head, _b, _d = yield from self._load(entry.head_addr)
+        candidates = [(block_number, entry.head_addr, 0)]
+        tail_addr = head.prev_addr
+        candidates.append((size - 1 - block_number, tail_addr, size - 1))
+        if hint is not None and hint != NULL_ADDR:
+            hinted = yield from self._peek_hint(entry.file_number, hint)
+            if hinted is not None:
+                candidates.append((abs(block_number - hinted), hint, hinted))
+        _dist, addr, at = min(candidates, key=lambda c: c[0])
+        while True:
+            header, bridge, data = yield from self._load(addr)
+            self._check_owner(header, entry.file_number, addr)
+            if header.block_number == block_number:
+                return addr, header, bridge, data
+            yield Timeout(self.config.cpu.efs_link_step)
+            if header.block_number < block_number:
+                addr = header.next_addr
+            else:
+                addr = header.prev_addr
+
+    def _peek_hint(self, file_number: int, hint: int):
+        """Block number at ``hint`` if it belongs to the file, else None."""
+        if not self.directory.first_data_block <= hint < self.disk.params.capacity_blocks:
+            return None
+        try:
+            header, _bridge, _data = yield from self._load(hint)
+        except EFSCorruptionError:
+            return None
+        if header.file_number != file_number:
+            return None
+        return header.block_number
+
+    def _store_block(self, addr: int, raw: bytes):
+        """Write one block, honoring the write-behind configuration."""
+        if self.config.efs_write_behind:
+            yield from self.cache.write_back(addr, raw)
+        else:
+            yield from self.cache.write_through(addr, raw)
+
+    def _overwrite(self, addr: int, header: EFSHeader, bridge: BridgeHeader, data: bytes):
+        """Replace a block's data area in place, keeping all pointers."""
+        yield from self._store_block(addr, pack_block(header, bridge, data))
+
+    def _bridge_header(self, entry: DirectoryEntry, block_number: int) -> BridgeHeader:
+        return BridgeHeader(
+            global_file_id=entry.global_file_id,
+            global_block=block_number * entry.width + entry.column,
+            width=entry.width,
+            start_node=0,
+            column=entry.column,
+        )
+
+    def _append(self, entry: DirectoryEntry, size: int, data: bytes):
+        """Link a new block at the tail: two device writes in steady state
+        (the new block and the old tail); the head's back-pointer update is
+        a lazy write-back."""
+        yield Timeout(self.config.cpu.efs_free_op)
+        addr = self.freelist.allocate()
+        if entry.head_addr == NULL_ADDR:
+            header = EFSHeader(addr, addr, entry.file_number, 0)
+            raw = pack_block(header, self._bridge_header(entry, 0), data)
+            yield from self._store_block(addr, raw)
+            entry.head_addr = addr
+            yield from self.directory.update(entry)
+            return 0, addr
+        head, head_bridge, head_data = yield from self._load(entry.head_addr)
+        tail_addr = head.prev_addr
+        block_number = size
+        new_header = EFSHeader(entry.head_addr, tail_addr, entry.file_number, block_number)
+        raw = pack_block(new_header, self._bridge_header(entry, block_number), data)
+        yield from self._store_block(addr, raw)
+        if tail_addr == entry.head_addr:
+            # Second block of the file: head's next and prev both change.
+            head.next_addr = addr
+            head.prev_addr = addr
+            yield from self._store_block(
+                entry.head_addr, pack_block(head, head_bridge, head_data)
+            )
+        else:
+            tail, tail_bridge, tail_data = yield from self._load(tail_addr)
+            tail.next_addr = addr
+            yield from self._store_block(
+                tail_addr, pack_block(tail, tail_bridge, tail_data)
+            )
+            head.prev_addr = addr
+            yield from self.cache.write_back(
+                entry.head_addr, pack_block(head, head_bridge, head_data)
+            )
+        return block_number, addr

@@ -1,0 +1,21 @@
+"""Fault injection, survival analysis, and the mirroring remedy."""
+
+from repro.faults.injector import (
+    FaultInjector,
+    files_lost_fraction_interleaved,
+    files_lost_fraction_mirrored,
+    files_lost_fraction_single_node,
+    replication_storage_factor,
+)
+from repro.faults.mirror import MirroredFile, MirroredReadStats, shadow_name
+
+__all__ = [
+    "FaultInjector",
+    "MirroredFile",
+    "MirroredReadStats",
+    "files_lost_fraction_interleaved",
+    "files_lost_fraction_mirrored",
+    "files_lost_fraction_single_node",
+    "replication_storage_factor",
+    "shadow_name",
+]

@@ -1,0 +1,92 @@
+"""Fault injection and survival analysis (paper section 6).
+
+"Interleaved files (like striped files and storage arrays) are inherently
+intolerant of faults.  A failure anywhere in the system is fatal; it
+ruins every file.  Replication helps, but only at very high cost."
+
+:class:`FaultInjector` fails individual node disks in a live system;
+the analytic helpers quantify expected file loss under the alternative
+placement strategies, and :mod:`repro.faults.mirror` implements the
+replication remedy the paper prices at 2x storage.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.builders import BridgeSystem
+
+
+class FaultInjector:
+    """Fail and repair disks in a :class:`BridgeSystem`."""
+
+    def __init__(self, system: BridgeSystem) -> None:
+        self.system = system
+        self.failed_slots: List[int] = []
+
+    def fail_slot(self, slot: int) -> None:
+        """Fail the disk behind LFS ``slot``."""
+        self.system.disks[slot].fail()
+        if slot not in self.failed_slots:
+            self.failed_slots.append(slot)
+
+    def repair_slot(self, slot: int) -> None:
+        self.system.disks[slot].repair()
+        if slot in self.failed_slots:
+            self.failed_slots.remove(slot)
+
+    def fail_random(self, rng_stream: str = "faults") -> int:
+        """Fail one uniformly random healthy slot; returns its index."""
+        rng = self.system.sim.random.stream(rng_stream)
+        healthy = [
+            slot
+            for slot in range(self.system.width)
+            if slot not in self.failed_slots
+        ]
+        if not healthy:
+            raise RuntimeError("every disk has already failed")
+        slot = healthy[rng.randrange(len(healthy))]
+        self.fail_slot(slot)
+        return slot
+
+
+# ---------------------------------------------------------------------------
+# Survival analysis
+# ---------------------------------------------------------------------------
+
+
+def files_lost_fraction_interleaved(width: int, failed_disks: int = 1) -> float:
+    """Fraction of width-``width`` interleaved files lost when any disk
+    fails: 1.0 for any failure (every file touches every disk)."""
+    if failed_disks <= 0:
+        return 0.0
+    return 1.0 if width > 0 else 0.0
+
+
+def files_lost_fraction_single_node(node_count: int, failed_disks: int = 1) -> float:
+    """Fraction of unreplicated width-1 files lost: failed/node_count
+    (files are spread evenly across nodes)."""
+    if node_count <= 0:
+        return 0.0
+    return min(1.0, failed_disks / node_count)
+
+
+def files_lost_fraction_mirrored(width: int, failed_disks: int = 1) -> float:
+    """Mirrored interleaved files survive any single failure; a second
+    failure is fatal only if it hits the partner copy — with the simple
+    next-neighbor mirroring of :mod:`repro.faults.mirror`, two failures
+    are fatal iff they are ring-adjacent."""
+    if failed_disks <= 1:
+        return 0.0
+    if width <= 1:
+        return 1.0
+    # probability two uniform distinct failures are adjacent on the ring
+    if width == 2:
+        return 1.0
+    return 2.0 / (width - 1)
+
+
+def replication_storage_factor() -> float:
+    """"Storage capacity must be doubled in order to tolerate
+    single-drive failures."""
+    return 2.0

@@ -1,0 +1,5 @@
+"""Experiment harness: system builders, runners, and result records."""
+
+from repro.harness.builders import BridgeSystem, build_system, paper_system
+
+__all__ = ["BridgeSystem", "build_system", "paper_system"]

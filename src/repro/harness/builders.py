@@ -1,0 +1,143 @@
+"""System builders: assemble a complete simulated Bridge installation.
+
+The canonical layout mirrors the paper's Figure 2: nodes ``0..p-1`` each
+carry a disk and an LFS (EFS) instance; one extra node hosts the Bridge
+Server; one more hosts client/controller processes (the "front end").
+Tool workers are spawned onto the LFS nodes at run time, which is the
+whole point of the tool interface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core import BridgeClient, BridgeServer, LFSHandle, RelayServer
+from repro.efs import EFSClient, EFSServer
+from repro.machine import Machine
+from repro.sim import Simulator
+from repro.storage import (
+    DiskParameters,
+    FixedLatency,
+    SimulatedDisk,
+    wren_fixed,
+)
+
+
+class BridgeSystem:
+    """A fully wired Bridge installation on a simulated machine."""
+
+    def __init__(
+        self,
+        lfs_count: int,
+        config: Optional[SystemConfig] = None,
+        seed: int = 0,
+        disk_capacity_blocks: int = 65_536,
+        disk_latency=None,
+        network=None,
+        with_relays: bool = True,
+        bridge_server_count: int = 1,
+    ) -> None:
+        if lfs_count < 1:
+            raise ValueError("a Bridge system needs at least one LFS node")
+        if bridge_server_count < 1:
+            raise ValueError("need at least one Bridge Server")
+        self.config = config or DEFAULT_CONFIG
+        self.sim = Simulator(seed=seed)
+        # ``network`` may be an instance or a factory taking the simulator
+        # (e.g. ``EthernetNetwork`` itself, whose bus process needs the sim).
+        if callable(network):
+            network = network(self.sim)
+        # p LFS nodes + k server nodes + 1 client node
+        self.machine = Machine(
+            self.sim,
+            lfs_count + bridge_server_count + 1,
+            config=self.config,
+            network=network,
+        )
+        self.lfs_nodes = [self.machine.node(i) for i in range(lfs_count)]
+        self.server_nodes = [
+            self.machine.node(lfs_count + i) for i in range(bridge_server_count)
+        ]
+        self.server_node = self.server_nodes[0]
+        self.client_node = self.machine.node(lfs_count + bridge_server_count)
+
+        self.disks: List[SimulatedDisk] = []
+        self.efs_servers: List[EFSServer] = []
+        self.relays: List[RelayServer] = []
+        for node in self.lfs_nodes:
+            params = DiskParameters(
+                name=f"disk{node.index}", capacity_blocks=disk_capacity_blocks
+            )
+            latency = disk_latency if disk_latency is not None else FixedLatency(0.015)
+            disk = SimulatedDisk(
+                self.sim, params, latency, name=f"disk{node.index}"
+            )
+            self.disks.append(disk)
+            efs = EFSServer(node, disk, self.config)
+            self.efs_servers.append(efs)
+            if with_relays:
+                self.relays.append(RelayServer(node, efs.port, self.config))
+
+        handles = [LFSHandle(n.index, s.port) for n, s in zip(self.lfs_nodes, self.efs_servers)]
+        relay_ports = [r.port for r in self.relays] if with_relays else None
+        self.bridges = [
+            BridgeServer(
+                node, handles, self.config, relay_ports=relay_ports,
+                name=f"bridge{index}" if index else "bridge",
+                file_id_start=index + 1,
+                file_id_step=len(self.server_nodes),
+            )
+            for index, node in enumerate(self.server_nodes)
+        ]
+        self.bridge = self.bridges[0]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """p: the number of LFS instances."""
+        return len(self.efs_servers)
+
+    def naive_client(self, node=None) -> BridgeClient:
+        """A naive-view client, by default on the front-end node."""
+        return BridgeClient(node or self.client_node, self.bridge.port)
+
+    def partitioned_client(self, node=None):
+        """A client routing by name across all Bridge Server partitions
+        (build the system with ``bridge_server_count > 1`` to use it)."""
+        from repro.core.partitioned import PartitionedBridge, PartitionedClient
+
+        bridge = PartitionedBridge(self.bridges)
+        return PartitionedClient(node or self.client_node, bridge)
+
+    def efs_client(self, slot: int, node=None) -> EFSClient:
+        """A direct EFS client for LFS ``slot`` (tool-style access)."""
+        target = self.efs_servers[slot]
+        return EFSClient(node or self.lfs_nodes[slot], target.port)
+
+    def run(self, generator, name: str = "main"):
+        """Spawn a driver process and run the simulation to completion."""
+        return self.sim.run_process(generator, name=name)
+
+    # ------------------------------------------------------------------
+
+    def total_disk_ops(self) -> int:
+        return sum(d.total_operations for d in self.disks)
+
+    def disk_utilizations(self) -> List[float]:
+        return [d.utilization() for d in self.disks]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BridgeSystem(p={self.width}, now={self.sim.now:.3f}s)"
+
+
+def build_system(lfs_count: int, **kwargs) -> BridgeSystem:
+    """Convenience alias used throughout the examples and benches."""
+    return BridgeSystem(lfs_count, **kwargs)
+
+
+def paper_system(lfs_count: int, seed: int = 0, **kwargs) -> BridgeSystem:
+    """The paper's configuration: 15 ms fixed-latency Wren-class disks."""
+    _params, latency = wren_fixed()
+    return BridgeSystem(lfs_count, seed=seed, disk_latency=latency, **kwargs)

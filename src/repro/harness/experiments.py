@@ -1,0 +1,404 @@
+"""Experiment runners: one function per paper artifact.
+
+Each function builds a fresh simulated system, runs the workload, and
+returns a result record (see :mod:`repro.harness.results`).  The bench
+scripts under ``benchmarks/`` are thin wrappers that sweep these runners
+and print paper-vs-measured tables; the examples drive them
+interactively.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.analysis.models import (
+    PAPER_TABLE3_COPY_SECONDS,
+    PAPER_TABLE4_SORT_MINUTES,
+)
+from repro.baselines import SequentialSystem, StripedSystem
+from repro.config import DEFAULT_CONFIG
+from repro.core import JobController, ParallelWorker
+from repro.faults import FaultInjector, MirroredFile
+from repro.harness.builders import BridgeSystem, paper_system
+from repro.harness.results import (
+    CopyRun,
+    CreateTreeRun,
+    FaultsRun,
+    SortRun,
+    StripingRun,
+    Table2Measurement,
+    TokenSaturationRun,
+    ViewsRun,
+)
+from repro.tools import CopyTool, SortTool, WordCountTool
+from repro.tools.sort import PairMerge
+from repro.workloads import (
+    build_file,
+    build_record_file,
+    pattern_chunks,
+    record_chunks,
+    uniform_keys,
+)
+
+
+def full_scale() -> bool:
+    """True when REPRO_FULL=1: run the paper's 10 MB configuration."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def default_blocks() -> int:
+    """Bench workload size: 10 922 blocks (paper) or a CI-sized 1 MB."""
+    from repro.analysis.models import PAPER_FILE_BLOCKS
+
+    return PAPER_FILE_BLOCKS if full_scale() else 1092
+
+
+def default_sort_records() -> int:
+    # ~0.19x of the paper's file by default: small enough for CI, large
+    # enough that per-pass file management doesn't drown the p = 32 rows.
+    return default_blocks() if full_scale() else 2048
+
+
+# ---------------------------------------------------------------------------
+# E2: Table 2 — basic operations
+# ---------------------------------------------------------------------------
+
+
+def measure_table2(p: int, file_blocks: int = 256, seed: int = 0) -> Table2Measurement:
+    """Measure Open/Read/Write/Create/Delete through the naive view."""
+    system = paper_system(p, seed=seed)
+    client = system.naive_client()
+    sim = system.sim
+    chunks = pattern_chunks(file_blocks)
+
+    def body():
+        # Create (timed)
+        start = sim.now
+        yield from client.create("t2")
+        create_ms = (sim.now - start) * 1e3
+        # Write (amortized per block)
+        start = sim.now
+        yield from client.write_all("t2", chunks)
+        write_ms = (sim.now - start) * 1e3 / file_blocks
+        # Open (timed, warm directory)
+        start = sim.now
+        yield from client.open("t2")
+        open_ms = (sim.now - start) * 1e3
+        # Read (amortized per block, includes per-LFS startup)
+        start = sim.now
+        while True:
+            block, _data = yield from client.seq_read("t2")
+            if block is None:
+                break
+        read_ms = (sim.now - start) * 1e3 / file_blocks
+        # Delete (total)
+        start = sim.now
+        yield from client.delete("t2")
+        delete_ms = (sim.now - start) * 1e3
+        return open_ms, read_ms, write_ms, create_ms, delete_ms
+
+    open_ms, read_ms, write_ms, create_ms, delete_ms = system.run(body())
+    return Table2Measurement(
+        p=p,
+        file_blocks=file_blocks,
+        open_ms=open_ms,
+        read_ms_per_block=read_ms,
+        write_ms_per_block=write_ms,
+        create_ms=create_ms,
+        delete_ms_total=delete_ms,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E3/E4: Table 3 — copy tool
+# ---------------------------------------------------------------------------
+
+
+def run_copy_experiment(p: int, blocks: Optional[int] = None, seed: int = 0) -> CopyRun:
+    blocks = blocks if blocks is not None else default_blocks()
+    system = paper_system(p, seed=seed)
+    build_file(system, "big", pattern_chunks(blocks))
+    tool = CopyTool(system.client_node, system.bridge.port, system.config)
+
+    def body():
+        return (yield from tool.run("big", "big-copy"))
+
+    result = system.run(body(), name="copy-experiment")
+    return CopyRun(
+        p=p,
+        blocks=blocks,
+        elapsed=result.elapsed,
+        paper_seconds=PAPER_TABLE3_COPY_SECONDS.get(p),
+    )
+
+
+# ---------------------------------------------------------------------------
+# E5/E6: Table 4 — sort tool
+# ---------------------------------------------------------------------------
+
+
+def run_sort_experiment(p: int, records: Optional[int] = None, seed: int = 0,
+                        buffer_records: Optional[int] = None) -> SortRun:
+    records = records if records is not None else default_sort_records()
+    config = DEFAULT_CONFIG
+    if buffer_records is not None:
+        config = config.with_changes(sort_buffer_records=buffer_records)
+    system = paper_system(p, seed=seed, config=config)
+    build_record_file(system, "unsorted", uniform_keys(records, seed=seed))
+    tool = SortTool(system.client_node, system.bridge.port, system.config)
+
+    def body():
+        return (yield from tool.run("unsorted", "sorted"))
+
+    result = system.run(body(), name="sort-experiment")
+    return SortRun(
+        p=p,
+        records=records,
+        local_sort_seconds=result.local_sort_time,
+        merge_seconds=result.merge_time,
+        total_seconds=result.total_time,
+        paper_minutes=PAPER_TABLE4_SORT_MINUTES.get(p),
+    )
+
+
+# ---------------------------------------------------------------------------
+# E10: the three views (and the virtual-parallelism lock-step penalty)
+# ---------------------------------------------------------------------------
+
+
+def run_views_experiment(p: int, blocks: Optional[int] = None, seed: int = 0,
+                         network: str = "butterfly") -> ViewsRun:
+    """Compare the three views on one file.
+
+    ``network`` may be ``"butterfly"`` (shared-memory queues; the paper's
+    prototype) or ``"ethernet"`` (a shared 10 Mb/s bus — the environment
+    where section 1 says moving code to the data matters most).
+    """
+    blocks = blocks if blocks is not None else max(64, default_blocks() // 4)
+    if network == "butterfly":
+        system = paper_system(p, seed=seed)
+    elif network == "ethernet":
+        from repro.machine import EthernetNetwork
+        from repro.storage import FixedLatency
+
+        system = BridgeSystem(
+            p,
+            seed=seed,
+            disk_latency=FixedLatency(0.015),
+            network=EthernetNetwork,
+        )
+    else:
+        raise ValueError(f"unknown network model {network!r}")
+    build_file(system, "viewed", pattern_chunks(blocks))
+    sim = system.sim
+    client = system.naive_client()
+
+    def naive():
+        yield from client.open("viewed")
+        start = sim.now
+        while True:
+            block, _data = yield from client.seq_read("viewed")
+            if block is None:
+                break
+        return sim.now - start
+
+    naive_seconds = system.run(naive(), name="naive-view")
+
+    def parallel_open(worker_count):
+        workers = [ParallelWorker(system.client_node, i) for i in range(worker_count)]
+        drained = []
+
+        def drain(worker):
+            while True:
+                delivery = yield from worker.receive()
+                if delivery.eof:
+                    return
+
+        processes = [
+            system.client_node.spawn(drain(w), name=f"drain{w.index}")
+            for w in workers
+        ]
+
+        def controller_body():
+            controller = JobController(system.client_node, system.bridge.port)
+            yield from controller.open("viewed", [w.port for w in workers])
+            start = sim.now
+            rounds = -(-blocks // worker_count) + 1
+            for _ in range(rounds):
+                yield from controller.read()
+            elapsed = sim.now - start
+            from repro.sim import join_all
+
+            yield join_all(processes)
+            return elapsed
+
+        return system.run(controller_body(), name="parallel-view")
+
+    parallel_seconds = parallel_open(p)
+    virtual_seconds = parallel_open(2 * p)
+
+    tool = WordCountTool(system.client_node, system.bridge.port, system.config)
+
+    def tool_view():
+        result = yield from tool.run("viewed")
+        return result.elapsed
+
+    tool_seconds = system.run(tool_view(), name="tool-view")
+    return ViewsRun(
+        p=p,
+        blocks=blocks,
+        naive_seconds=naive_seconds,
+        parallel_open_seconds=parallel_seconds,
+        tool_seconds=tool_seconds,
+        virtual_parallel_seconds=virtual_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E12: Bridge vs striping vs a single conventional FS
+# ---------------------------------------------------------------------------
+
+
+def run_striping_comparison(devices: int, blocks: Optional[int] = None,
+                            seed: int = 0) -> StripingRun:
+    blocks = blocks if blocks is not None else max(128, default_blocks() // 4)
+    chunks = pattern_chunks(blocks)
+
+    bridge = paper_system(devices, seed=seed)
+    build_file(bridge, "cmp", chunks)
+    tool = CopyTool(bridge.client_node, bridge.bridge.port, bridge.config)
+
+    def bridge_body():
+        return (yield from tool.run("cmp", "cmp-out"))
+
+    bridge_seconds = bridge.run(bridge_body()).elapsed
+
+    striped = StripedSystem(devices, seed=seed)
+    striped.build_file("cmp", chunks)
+    _n, striped_seconds = striped.copy_file("cmp", "cmp-out")
+
+    sequential = SequentialSystem(seed=seed)
+    src = sequential.build_file(chunks)
+    sequential_seconds = sequential.copy_file(src).elapsed
+
+    return StripingRun(
+        devices=devices,
+        blocks=blocks,
+        bridge_tool_seconds=bridge_seconds,
+        striped_seconds=striped_seconds,
+        sequential_seconds=sequential_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E11: token saturation — one pair merge at growing width
+# ---------------------------------------------------------------------------
+
+
+def run_token_saturation(width: int, records: Optional[int] = None,
+                         seed: int = 0) -> TokenSaturationRun:
+    """Merge two pre-sorted width/2 files into one width-wide file."""
+    if width < 2 or width % 2:
+        raise ValueError("merge width must be even and >= 2")
+    records = records if records is not None else max(128, default_blocks() // 8)
+    system = paper_system(width, seed=seed)
+    keys = sorted(uniform_keys(records, seed=seed))
+    half = width // 2
+    left_keys = keys[0::2]
+    right_keys = keys[1::2]
+    build_record_file(system, "left", left_keys,
+                      node_slots=list(range(half)), start=0)
+    build_record_file(system, "right", right_keys,
+                      node_slots=list(range(half, width)), start=0)
+    client = system.naive_client()
+
+    def body():
+        yield from client.create("merged", node_slots=list(range(width)), start=0)
+        left = yield from client.open("left")
+        right = yield from client.open("right")
+        out = yield from client.open("merged")
+        merge = PairMerge(system.client_node, system.config)
+        stats = yield from merge.run(
+            left.constituents, right.constituents, out.constituents,
+            left.total_blocks + right.total_blocks,
+        )
+        return stats
+
+    stats = system.run(body(), name="token-saturation")
+    return TokenSaturationRun(width=width, records=stats.records,
+                              elapsed=stats.elapsed)
+
+
+# ---------------------------------------------------------------------------
+# E8: create dispatch — sequential vs embedded binary tree
+# ---------------------------------------------------------------------------
+
+
+def run_create_tree_experiment(p: int, seed: int = 0) -> CreateTreeRun:
+    def create_ms(use_tree: bool) -> float:
+        config = DEFAULT_CONFIG.with_changes(create_uses_tree=use_tree)
+        system = paper_system(p, seed=seed, config=config)
+        client = system.naive_client()
+
+        def body():
+            start = system.sim.now
+            yield from client.create("probe")
+            return (system.sim.now - start) * 1e3
+
+        return system.run(body(), name="create-probe")
+
+    return CreateTreeRun(
+        p=p, sequential_ms=create_ms(False), tree_ms=create_ms(True)
+    )
+
+
+# ---------------------------------------------------------------------------
+# E13: fault tolerance
+# ---------------------------------------------------------------------------
+
+
+def run_faults_experiment(p: int = 4, blocks: int = 16, seed: int = 0) -> FaultsRun:
+    from repro.errors import DeviceFailedError
+
+    system = paper_system(p, seed=seed)
+    build_file(system, "plain", pattern_chunks(blocks))
+    mirrored = MirroredFile(system, "guarded")
+
+    def setup():
+        yield from mirrored.create()
+        yield from mirrored.write_all(pattern_chunks(blocks))
+        return (yield from mirrored.storage_blocks())
+
+    mirror_storage = system.run(setup(), name="fault-setup")
+    for efs in system.efs_servers:
+        system.run(efs.cache.flush(), name="flush")
+        efs.cache.invalidate_all()
+    FaultInjector(system).fail_slot(seed % p)
+
+    client = system.naive_client()
+
+    def read_plain():
+        try:
+            for block in range(blocks):
+                yield from client.random_read("plain", block)
+        except DeviceFailedError:
+            return True  # lost
+        return False
+
+    plain_lost = system.run(read_plain(), name="fault-plain")
+
+    def read_mirrored():
+        chunks, stats = yield from mirrored.read_all()
+        return len(chunks) == blocks, stats.fallbacks
+
+    recovered, fallbacks = system.run(read_mirrored(), name="fault-mirrored")
+    return FaultsRun(
+        p=p,
+        blocks=blocks,
+        plain_lost=plain_lost,
+        mirrored_recovered=recovered,
+        mirror_fallbacks=fallbacks,
+        mirror_storage_blocks=mirror_storage,
+        plain_storage_blocks=blocks,
+    )

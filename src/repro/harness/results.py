@@ -1,0 +1,120 @@
+"""Result records for the reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Table2Measurement:
+    """Measured basic-operation costs for one configuration (ms)."""
+
+    p: int
+    file_blocks: int
+    open_ms: float
+    read_ms_per_block: float
+    write_ms_per_block: float
+    create_ms: float
+    delete_ms_total: float
+
+    @property
+    def delete_ms_per_block_per_lfs(self) -> float:
+        blocks_per_lfs = max(1, self.file_blocks // self.p)
+        return self.delete_ms_total / blocks_per_lfs
+
+
+@dataclass
+class CopyRun:
+    """One copy-tool configuration (Table 3 row)."""
+
+    p: int
+    blocks: int
+    elapsed: float
+    paper_seconds: Optional[float] = None
+
+    @property
+    def records_per_second(self) -> float:
+        return self.blocks / self.elapsed if self.elapsed > 0 else 0.0
+
+
+@dataclass
+class SortRun:
+    """One sort-tool configuration (Table 4 row)."""
+
+    p: int
+    records: int
+    local_sort_seconds: float
+    merge_seconds: float
+    total_seconds: float
+    paper_minutes: Optional[Tuple[float, float, float]] = None
+
+    @property
+    def records_per_second(self) -> float:
+        return self.records / self.total_seconds if self.total_seconds > 0 else 0.0
+
+
+@dataclass
+class ViewsRun:
+    """Throughput of the three user views reading the same file."""
+
+    p: int
+    blocks: int
+    naive_seconds: float
+    parallel_open_seconds: float
+    tool_seconds: float
+    virtual_parallel_seconds: float  # t = 2p, the lock-step penalty case
+
+    def as_throughput(self) -> Dict[str, float]:
+        return {
+            "naive": self.blocks / self.naive_seconds,
+            "parallel-open": self.blocks / self.parallel_open_seconds,
+            "tool": self.blocks / self.tool_seconds,
+            "virtual(t=2p)": self.blocks / self.virtual_parallel_seconds,
+        }
+
+
+@dataclass
+class StripingRun:
+    """Copy/read comparison: Bridge tool vs striping vs one disk."""
+
+    devices: int
+    blocks: int
+    bridge_tool_seconds: float
+    striped_seconds: float
+    sequential_seconds: float
+
+
+@dataclass
+class TokenSaturationRun:
+    """One pair-merge at a given output width."""
+
+    width: int
+    records: int
+    elapsed: float
+
+    @property
+    def records_per_second(self) -> float:
+        return self.records / self.elapsed if self.elapsed > 0 else 0.0
+
+
+@dataclass
+class CreateTreeRun:
+    """Create latency: sequential vs tree dispatch."""
+
+    p: int
+    sequential_ms: float
+    tree_ms: float
+
+
+@dataclass
+class FaultsRun:
+    """Fault-tolerance ablation outcome."""
+
+    p: int
+    blocks: int
+    plain_lost: bool
+    mirrored_recovered: bool
+    mirror_fallbacks: int
+    mirror_storage_blocks: int
+    plain_storage_blocks: int

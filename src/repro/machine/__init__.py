@@ -1,0 +1,24 @@
+"""Machine model: nodes, interconnect, remote process creation, RPC.
+
+Replaces the BBN Butterfly / Chrysalis substrate of the paper's prototype.
+"""
+
+from repro.machine.machine import Machine
+from repro.machine.network import ButterflyNetwork, EthernetNetwork, ZeroLatencyNetwork
+from repro.machine.node import Node, Port
+from repro.machine.rpc import Client, Request, Response, Server, gather, oneway
+
+__all__ = [
+    "ButterflyNetwork",
+    "Client",
+    "EthernetNetwork",
+    "gather",
+    "Machine",
+    "Node",
+    "Port",
+    "Request",
+    "Response",
+    "Server",
+    "ZeroLatencyNetwork",
+    "oneway",
+]

@@ -1,0 +1,96 @@
+"""Interconnect models.
+
+The prototype ran on a BBN Butterfly, whose switch gives near-uniform
+latency between any pair of nodes (messages are atomic queues in shared
+memory).  The paper notes the design "could be realized equally well on
+any local area network", so an Ethernet-style shared-bus model is provided
+too — it serializes all transmissions and makes the paper's remark about
+communication bottlenecks on broadcast networks measurable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Tuple
+
+from repro.config import MessageCosts
+from repro.sim import Mailbox, Timeout
+
+
+class ButterflyNetwork:
+    """Uniform-latency switch: latency depends only on locality and size."""
+
+    def __init__(self, costs: MessageCosts) -> None:
+        self.costs = costs
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, sim, src_node, port, message: Any, size: int = 0) -> None:
+        """Deliver ``message`` to ``port`` after the modeled latency."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        same_node = src_node is port.node
+        latency = self.costs.latency(same_node, size)
+        sim.call_later(latency, port.mailbox.deliver, message)
+
+
+class ZeroLatencyNetwork:
+    """Instant delivery — for unit tests that isolate higher layers."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, sim, src_node, port, message: Any, size: int = 0) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        sim.call_later(0.0, port.mailbox.deliver, message)
+
+
+class EthernetNetwork:
+    """A shared broadcast bus: one transmission at a time, per-byte cost.
+
+    Local (same-node) messages bypass the bus.  Remote messages queue at a
+    single transmitter process, which models the medium's serialization —
+    the reason the paper insists on moving computation to the data when
+    aggregate I/O bandwidth exceeds network bandwidth.
+    """
+
+    def __init__(
+        self,
+        sim,
+        bandwidth_bytes_per_s: float = 1_250_000.0,  # 10 Mb/s Ethernet
+        frame_overhead: float = 0.2e-3,
+        local_latency: float = 0.1e-3,
+    ) -> None:
+        self.sim = sim
+        self.bandwidth = bandwidth_bytes_per_s
+        self.frame_overhead = frame_overhead
+        self.local_latency = local_latency
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self._queue: Deque[Tuple[Any, Any, int]] = deque()
+        self._wakeup = Mailbox(sim, "ethernet.wakeup")
+        sim.spawn(self._transmitter(), name="ethernet", daemon=True)
+
+    def send(self, sim, src_node, port, message: Any, size: int = 0) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if src_node is port.node:
+            sim.call_later(self.local_latency, port.mailbox.deliver, message)
+            return
+        self._queue.append((port, message, size))
+        self._wakeup.deliver(None)
+
+    def _transmitter(self):
+        while True:
+            yield self._wakeup.recv()
+            while self._queue:
+                port, message, size = self._queue.popleft()
+                yield Timeout(self.frame_overhead + size / self.bandwidth)
+                port.mailbox.deliver(message)
+
+    @property
+    def backlog(self) -> int:
+        """Messages waiting for the bus right now."""
+        return len(self._queue)

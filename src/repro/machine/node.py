@@ -1,0 +1,80 @@
+"""Nodes: the processors of the simulated multiprocessor.
+
+A :class:`Node` is a location.  Processes run *on* a node, mailboxes are
+*owned by* a node, and the network model charges latency based on the
+source and destination nodes of each message.  This is the machinery that
+lets Bridge tools "export code to the data": a worker spawned on the node
+that owns a disk exchanges only cheap local messages with that disk's LFS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.sim import Mailbox, Process
+
+
+class Port:
+    """A mailbox bound to its owning node — the unit of addressability.
+
+    Ports are what get passed around in messages (reply ports, server
+    addresses, worker lists).  Sending to a port goes through the machine's
+    network model, which uses ``port.node`` for latency.
+    """
+
+    __slots__ = ("node", "mailbox")
+
+    def __init__(self, node: "Node", mailbox: Mailbox) -> None:
+        self.node = node
+        self.mailbox = mailbox
+
+    @property
+    def name(self) -> str:
+        return self.mailbox.name
+
+    def recv(self):
+        """Waitable receive on the underlying mailbox."""
+        return self.mailbox.recv()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Port({self.mailbox.name!r}@node{self.node.index})"
+
+
+class Node:
+    """One processor (with optional attached disk) of the machine."""
+
+    def __init__(self, machine, index: int, name: Optional[str] = None) -> None:
+        self.machine = machine
+        self.index = index
+        self.name = name or f"node{index}"
+        self.processes: List[Process] = []
+        #: Set by the storage layer if a disk is attached to this node.
+        self.disk = None
+        #: Set by the EFS layer if an LFS instance runs on this node.
+        self.lfs_port: Optional[Port] = None
+        self._port_seq = 0
+
+    # ------------------------------------------------------------------
+
+    def port(self, name: Optional[str] = None) -> Port:
+        """Create a fresh port (mailbox owned by this node)."""
+        self._port_seq += 1
+        label = name or f"{self.name}.port{self._port_seq}"
+        return Port(self, Mailbox(self.machine.sim, label))
+
+    def spawn(self, generator, name: str = "proc", daemon: bool = False) -> Process:
+        """Run a process on this node (no spawn latency: local fork)."""
+        process = self.machine.sim.spawn(
+            generator, name=f"{self.name}/{name}", daemon=daemon
+        )
+        self.processes.append(process)
+        return process
+
+    # ------------------------------------------------------------------
+
+    def send(self, port: Port, message: Any, size: int = 0) -> None:
+        """Send ``message`` from this node to ``port`` (fire and forget)."""
+        self.machine.send(self, port, message, size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.index}, {self.name!r})"

@@ -1,0 +1,201 @@
+"""Request/reply messaging on top of the machine's network model.
+
+All Bridge components (EFS servers, the Bridge Server, tool workers) speak
+the same envelope protocol: a :class:`Request` names a method, carries
+arguments and a reply port; the server answers with a :class:`Response`
+that either holds a value or an error to be re-raised at the caller.
+
+Servers are *single simulated processes* handling one request at a time —
+deliberately, because the serialization of a centralized server is one of
+the phenomena the paper measures (section 4.1: "if requests to the server
+are frequent enough to cause a bottleneck...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.machine.node import Node, Port
+
+
+@dataclass
+class Request:
+    """A method invocation envelope."""
+
+    method: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    reply_to: Optional[Port] = None
+    size: int = 0  # payload bytes carried with the request
+
+
+@dataclass
+class Response:
+    """The server's answer: exactly one of ``value`` / ``error`` is set."""
+
+    value: Any = None
+    error: Optional[Exception] = None
+    size: int = 0  # payload bytes carried with the response
+
+
+class Detached:
+    """Handler result meaning: finish this request in a side process.
+
+    The server loop spawns ``generator`` and immediately returns to its
+    mailbox; the side process produces the eventual response (a plain
+    value or a :class:`Response`) which is then sent to the caller.  Use
+    for slow operations that must not serialize unrelated requests behind
+    a single server (e.g. Bridge Delete, whose LFS walk is O(n/p))."""
+
+    __slots__ = ("generator",)
+
+    def __init__(self, generator) -> None:
+        self.generator = generator
+
+
+class Server:
+    """Base class for simulated RPC servers.
+
+    Subclasses implement generator methods named ``op_<method>`` taking the
+    request's ``args`` as keyword arguments and returning the result value
+    (they may ``yield`` to wait on disks, other servers, ...).  To attach a
+    byte size to the response (block payloads crossing the network), return
+    a :class:`Response` directly; plain return values are wrapped with
+    ``size=0``.
+
+    Application-level errors derived from :class:`Exception` raised by a
+    handler are shipped back to the caller and re-raised there; they do not
+    kill the server.
+    """
+
+    def __init__(self, node: Node, name: str) -> None:
+        self.node = node
+        self.name = name
+        self.port = node.port(name)
+        self.requests_served = 0
+        self.busy_time = 0.0
+        self.process = node.spawn(self._loop(), name=name, daemon=True)
+
+    # ------------------------------------------------------------------
+
+    def _loop(self):
+        sim = self.node.machine.sim
+        while True:
+            request = yield self.port.recv()
+            started = sim.now
+            handler = getattr(self, "op_" + request.method, None)
+            if handler is None:
+                response = Response(
+                    error=NotImplementedError(
+                        f"{self.name}: unknown method {request.method!r}"
+                    )
+                )
+            else:
+                try:
+                    result = yield from handler(**request.args)
+                except Exception as exc:  # ship application errors back
+                    response = Response(error=exc)
+                else:
+                    if isinstance(result, Detached):
+                        self.node.spawn(
+                            self._finish_detached(result.generator, request),
+                            name=f"{self.name}.detached",
+                        )
+                        self.requests_served += 1
+                        self.busy_time += sim.now - started
+                        continue
+                    if isinstance(result, Response):
+                        response = result
+                    else:
+                        response = Response(value=result)
+            self.requests_served += 1
+            self.busy_time += sim.now - started
+            if request.reply_to is not None:
+                self.node.send(request.reply_to, response, size=response.size)
+
+    def _finish_detached(self, generator, request: Request):
+        try:
+            value = yield from generator
+        except Exception as exc:
+            response = Response(error=exc)
+        else:
+            response = value if isinstance(value, Response) else Response(value=value)
+        if request.reply_to is not None:
+            self.node.send(request.reply_to, response, size=response.size)
+
+    def utilization(self) -> float:
+        """Fraction of simulated time this server spent handling requests."""
+        now = self.node.machine.sim.now
+        return self.busy_time / now if now > 0 else 0.0
+
+
+class Client:
+    """Client-side helper for sequential RPC.
+
+    One :class:`Client` supports one outstanding call at a time (it owns a
+    single reply port).  Components that need parallel outstanding requests
+    create one client per in-flight call or collect replies on a shared
+    port manually (see the Bridge Server's parallel read).
+    """
+
+    def __init__(self, node: Node, name: str = "client") -> None:
+        self.node = node
+        self.reply_port = node.port(f"{name}.reply")
+
+    def call(self, port: Port, method: str, size: int = 0, **args):
+        """Generator performing one call: ``value = yield from client.call(...)``."""
+        request = Request(method=method, args=args, reply_to=self.reply_port, size=size)
+        self.node.send(port, request, size=size)
+        response = yield self.reply_port.recv()
+        if response.error is not None:
+            raise response.error
+        return response.value
+
+    def send_async(self, port: Port, method: str, size: int = 0, **args) -> None:
+        """Fire a request whose reply will arrive on :attr:`reply_port`.
+
+        Use with a matching number of ``yield client.reply_port.recv()``;
+        replies are not matched to requests, so this is only safe when all
+        outstanding requests are homogeneous (e.g. a barrier of creates).
+        """
+        request = Request(method=method, args=args, reply_to=self.reply_port, size=size)
+        self.node.send(port, request, size=size)
+
+    def collect(self, count: int):
+        """Generator collecting ``count`` async replies, raising any error."""
+        values = []
+        for _ in range(count):
+            response = yield self.reply_port.recv()
+            if response.error is not None:
+                raise response.error
+            values.append(response.value)
+        return values
+
+
+def gather(node: Node, calls):
+    """Issue many requests in parallel and collect replies in call order.
+
+    ``calls`` is a list of ``(port, method, args_dict, size)`` tuples.
+    Each call gets its own one-shot reply port, so replies stay associated
+    with their requests regardless of arrival order.  The generator
+    completes when the *slowest* reply arrives; any error response is
+    re-raised.  This is the fan-out primitive behind the Bridge Server's
+    parallel Create/Delete/Open/Read/Write.
+    """
+    reply_ports = []
+    for port, method, args, size in calls:
+        reply_port = node.port()
+        node.send(port, Request(method, args, reply_port, size), size=size)
+        reply_ports.append(reply_port)
+    values = []
+    for reply_port in reply_ports:
+        response = yield reply_port.recv()
+        if response.error is not None:
+            raise response.error
+        values.append(response.value)
+    return values
+
+
+def oneway(node: Node, port: Port, method: str, size: int = 0, **args) -> None:
+    """Send a request that expects no reply (completion notifications)."""
+    node.send(port, Request(method=method, args=args, reply_to=None, size=size), size=size)

@@ -1,0 +1,49 @@
+"""Discrete-event simulation kernel.
+
+This package replaces the BBN Butterfly / Chrysalis runtime the paper ran
+on: generator-based processes, simulated time, mailboxes for message
+passing, and counted resources for device contention.
+
+Public surface::
+
+    sim = Simulator(seed=42)
+    box = Mailbox(sim, "requests")
+
+    def server():
+        while True:
+            msg = yield box.recv()
+            yield Timeout(0.015)          # 15 ms of simulated work
+            msg["reply_to"].deliver("ok")
+
+    sim.spawn(server(), name="server", daemon=True)
+    sim.run()
+"""
+
+from repro.sim.channel import Mailbox
+from repro.sim.events import AllOf, AnyOf, Signal, Timeout
+from repro.sim.process import Process, join_all
+from repro.sim.rand import RandomStreams
+from repro.sim.resources import Lock, Resource
+from repro.sim.simulator import Simulator
+from repro.sim.stats import Counter, StatsRegistry, Summary, TimeWeighted
+from repro.sim.trace import Tracer, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Lock",
+    "Mailbox",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Signal",
+    "Simulator",
+    "StatsRegistry",
+    "Summary",
+    "TimeWeighted",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "join_all",
+]

@@ -1,0 +1,83 @@
+"""Mailboxes: the message-passing primitive of the simulated machine.
+
+The Butterfly implementation of Bridge passes messages through atomic
+queues in shared memory; on an Ethernet it would use datagrams.  Either
+way the abstraction is the same: a :class:`Mailbox` is an unbounded FIFO
+of messages that processes can block on.
+
+Delivery latency is *not* a mailbox concern — the network model
+(:mod:`repro.machine.network`) computes a latency and calls
+:meth:`Mailbox.deliver` at the right simulated time.  ``deliver`` itself
+is instantaneous.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+
+class Mailbox:
+    """An unbounded FIFO message queue with blocking receive."""
+
+    __slots__ = ("sim", "name", "_queue", "_waiters", "messages_delivered")
+
+    def __init__(self, sim, name: str = "mailbox") -> None:
+        self.sim = sim
+        self.name = name
+        self._queue: Deque[Any] = deque()
+        self._waiters: Deque[Any] = deque()
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+
+    def deliver(self, message: Any) -> None:
+        """Make ``message`` available now (called by the network model).
+
+        If a process is blocked in :meth:`recv`, it is resumed immediately;
+        otherwise the message queues until someone asks for it.
+        """
+        self.messages_delivered += 1
+        if self._waiters:
+            process = self._waiters.popleft()
+            process.sim._schedule(0.0, process._step, message)
+        else:
+            self._queue.append(message)
+
+    def recv(self) -> "_Recv":
+        """Waitable receive: ``message = yield mailbox.recv()``."""
+        return _Recv(self)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of queued (undelivered-to-receiver) messages."""
+        return len(self._queue)
+
+    @property
+    def has_waiters(self) -> bool:
+        """True if at least one process is blocked waiting to receive."""
+        return bool(self._waiters)
+
+    def peek(self) -> Optional[Any]:
+        """The next queued message without consuming it, or ``None``."""
+        return self._queue[0] if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Mailbox({self.name!r}, queued={len(self._queue)})"
+
+
+class _Recv:
+    """Waitable produced by :meth:`Mailbox.recv`."""
+
+    __slots__ = ("mailbox",)
+
+    def __init__(self, mailbox: Mailbox) -> None:
+        self.mailbox = mailbox
+
+    def _wait(self, process) -> None:
+        queue = self.mailbox._queue
+        if queue:
+            process.sim._schedule(0.0, process._step, queue.popleft())
+        else:
+            self.mailbox._waiters.append(process)

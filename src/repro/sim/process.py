@@ -1,0 +1,91 @@
+"""Generator-based simulated processes.
+
+A process body is a plain Python generator function.  Each ``yield`` hands
+the kernel a *waitable* (:class:`~repro.sim.events.Timeout`, a mailbox
+receive, a resource acquire, another process's completion signal, ...);
+the process resumes when the waitable completes, with the waitable's value
+as the result of the ``yield`` expression.
+
+Processes that ``return value`` deliver that value to joiners.  A process
+that raises an unhandled exception fails the whole simulation immediately
+(fail-fast), wrapped in :class:`~repro.errors.ProcessError` — silent loss
+of a simulated actor is never acceptable in an experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import InvalidYieldError, ProcessError
+from repro.sim.events import Signal
+
+
+class Process:
+    """A running simulated process.  Created via :meth:`Simulator.spawn`."""
+
+    __slots__ = ("sim", "gen", "name", "daemon", "done", "result", "completion")
+
+    def __init__(self, sim, gen, name: str = "process", daemon: bool = False) -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"process body must be a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.daemon = daemon
+        self.done = False
+        self.result: Any = None
+        self.completion = Signal(sim)
+
+    # ------------------------------------------------------------------
+
+    def _step(self, value: Any) -> None:
+        """Advance the generator by one yield.  Called by the kernel only."""
+        try:
+            target = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except ProcessError:
+            raise
+        except Exception as exc:
+            raise ProcessError(self.name, str(exc)) from exc
+        wait = getattr(target, "_wait", None)
+        if wait is None:
+            raise InvalidYieldError(
+                f"process {self.name!r} yielded non-waitable {target!r}"
+            )
+        wait(self)
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        if self.sim.trace is not None:
+            self.sim.trace.record("exit", process=self.name)
+        self.completion.fire(result)
+
+    # ------------------------------------------------------------------
+
+    def join(self) -> Signal:
+        """Waitable that completes (with the process result) on termination.
+
+        Usage inside another process: ``result = yield worker.join()``.
+        """
+        return self.completion
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+def join_all(processes) -> "Signal":
+    """Waitable for the completion of every process in ``processes``.
+
+    Yields a list of their results, in order.  Implemented with
+    :class:`~repro.sim.events.AllOf` over the completion signals.
+    """
+    from repro.sim.events import AllOf
+
+    return AllOf([p.completion for p in processes])

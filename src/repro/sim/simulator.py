@@ -1,0 +1,164 @@
+"""The discrete-event simulation core.
+
+:class:`Simulator` owns the virtual clock and the event heap.  Simulated
+activities are generator-based :class:`Process` objects (see
+:mod:`repro.sim.process`); the simulator advances time by popping the
+earliest scheduled callback and invoking it.
+
+The kernel is deliberately small and allocation-light: one heap entry per
+scheduled resume, ``__slots__`` on all hot classes, and no per-event object
+beyond the heap tuple itself.  On a stock CPython it sustains several
+hundred thousand events per second, enough to run the paper's 10 MB
+copy/sort experiments in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import DeadlockError
+from repro.sim.process import Process
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """A discrete-event simulator with a floating-point clock (seconds).
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator's deterministic named random streams
+        (see :class:`repro.sim.rand.RandomStreams`).
+    trace:
+        Optional :class:`repro.sim.trace.Tracer`; when ``None`` tracing is
+        disabled and costs nothing.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None) -> None:
+        self.now: float = 0.0
+        self.trace = trace
+        if trace is not None:
+            trace.attach(self)
+        self.random = RandomStreams(seed)
+        self._heap: List[Tuple[float, int, Callable, Any]] = []
+        self._seq = 0
+        self._processes: List[Process] = []
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _schedule(self, delay: float, fn: Callable, arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` to run ``delay`` seconds from now."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+
+    def call_at(self, time: float, fn: Callable, arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._schedule(time - self.now, fn, arg)
+
+    def call_later(self, delay: float, fn: Callable, arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._schedule(delay, fn, arg)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator, name: str = "process", daemon: bool = False) -> Process:
+        """Create a process from a generator and schedule its first step.
+
+        Daemon processes (servers that loop forever on a mailbox) are
+        excluded from deadlock detection and need not finish for
+        :meth:`run` to succeed.
+        """
+        process = Process(self, generator, name=name, daemon=daemon)
+        self._processes.append(process)
+        self._schedule(0.0, process._step, None)
+        if self.trace is not None:
+            self.trace.record("spawn", process=name, daemon=daemon)
+        return process
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        check_deadlock: bool = False,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the simulation.
+
+        Runs until the event heap drains, or until the clock passes
+        ``until`` (events at exactly ``until`` still execute).  Returns the
+        final clock value.
+
+        With ``check_deadlock=True`` a :class:`~repro.errors.DeadlockError`
+        is raised if the heap drains while non-daemon processes remain
+        blocked.  ``max_events`` guards against runaway simulations.
+        """
+        heap = self._heap
+        executed = 0
+        while heap:
+            time, _seq, fn, arg = heap[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(heap)
+            self.now = time
+            fn(arg)
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        self._events_executed += executed
+        if check_deadlock and not heap:
+            blocked = [p for p in self._processes if not p.done and not p.daemon]
+            if blocked:
+                raise DeadlockError(blocked)
+        return self.now
+
+    def run_process(self, generator, name: str = "main", **run_kwargs) -> Any:
+        """Spawn ``generator``, run until it completes, and return its result.
+
+        Convenience wrapper used heavily by tests and the harness.  Raises
+        :class:`~repro.errors.SimulationError` if the simulation drains
+        before the process finishes.
+        """
+        process = self.spawn(generator, name=name)
+        self.run(**run_kwargs)
+        if not process.done:
+            raise DeadlockError([process])
+        return process.result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far (monotone counter)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently waiting in the heap."""
+        return len(self._heap)
+
+    def live_processes(self) -> List[Process]:
+        """All spawned processes that have not yet terminated."""
+        return [p for p in self._processes if not p.done]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulator(now={self.now:.6f}, pending={len(self._heap)}, "
+            f"processes={len(self._processes)})"
+        )

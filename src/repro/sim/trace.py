@@ -1,0 +1,76 @@
+"""Lightweight event tracing for debugging and instrumentation.
+
+A :class:`Tracer` records ``(time, kind, fields)`` tuples.  Tracing is
+opt-in: the simulator carries ``trace=None`` by default and every hot path
+guards with ``if sim.trace is not None`` so disabled tracing is free.
+
+Traces are bounded by ``capacity`` (a ring buffer) so a long simulation
+cannot exhaust memory; set ``capacity=None`` for unbounded capture in
+short tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Deque, Dict, Iterable, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    """A single trace entry."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any]
+
+
+class Tracer:
+    """Collects simulation trace records, optionally filtered by kind."""
+
+    def __init__(
+        self,
+        capacity: Optional[int] = 100_000,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._kinds = set(kinds) if kinds is not None else None
+        self.counts: Counter = Counter()
+        self._sim = None
+
+    def attach(self, sim) -> "Tracer":
+        """Bind to a simulator so records are stamped with its clock."""
+        self._sim = sim
+        return self
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Record one event; kind-filtered records still count in `counts`."""
+        self.counts[kind] += 1
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        time = self._sim.now if self._sim is not None else 0.0
+        self._records.append(TraceRecord(time, kind, fields))
+
+    # ------------------------------------------------------------------
+
+    def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        """All captured records, optionally restricted to one kind."""
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    def clear(self) -> None:
+        """Drop captured records (counters are kept)."""
+        self._records.clear()
+
+    def format(self, limit: Optional[int] = 50) -> str:
+        """Human-readable dump of the most recent ``limit`` records."""
+        records = list(self._records)
+        if limit is not None:
+            records = records[-limit:]
+        lines = []
+        for rec in records:
+            fields = " ".join(f"{k}={v!r}" for k, v in rec.fields.items())
+            lines.append(f"{rec.time * 1e3:12.3f}ms  {rec.kind:<12} {fields}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,35 @@
+"""Simulated storage devices: disks, latency models, schedulers, arrays."""
+
+from repro.storage.array import StorageArray
+from repro.storage.disk import SimulatedDisk
+from repro.storage.geometry import DiskGeometry
+from repro.storage.parameters import (
+    DiskParameters,
+    FixedLatency,
+    GeometricLatency,
+    ramdisk,
+    wren_fixed,
+    wren_geometric,
+)
+from repro.storage.scheduler import (
+    ElevatorScheduler,
+    FCFSScheduler,
+    SSTFScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "DiskGeometry",
+    "DiskParameters",
+    "ElevatorScheduler",
+    "FCFSScheduler",
+    "FixedLatency",
+    "GeometricLatency",
+    "SSTFScheduler",
+    "SimulatedDisk",
+    "StorageArray",
+    "make_scheduler",
+    "ramdisk",
+    "wren_fixed",
+    "wren_geometric",
+]

@@ -1,0 +1,78 @@
+"""Disk request scheduling disciplines.
+
+The paper's prototype served requests in arrival order (its disks were
+RAM with a fixed sleep, so ordering could not matter).  With the geometric
+latency model, ordering does matter, so FCFS, SSTF, and LOOK/elevator are
+provided — used by the scheduler ablation bench and available to users.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class FCFSScheduler:
+    """First come, first served — the paper's (implicit) policy."""
+
+    name = "fcfs"
+
+    def select(self, pending: List, head_position: int) -> int:
+        """Return the index in ``pending`` of the request to serve next."""
+        return 0
+
+
+class SSTFScheduler:
+    """Shortest seek time first (by block-address distance)."""
+
+    name = "sstf"
+
+    def select(self, pending: List, head_position: int) -> int:
+        best_index = 0
+        best_distance = abs(pending[0].block - head_position)
+        for index in range(1, len(pending)):
+            distance = abs(pending[index].block - head_position)
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        return best_index
+
+
+class ElevatorScheduler:
+    """LOOK: sweep upward through addresses, reverse at the last request."""
+
+    name = "elevator"
+
+    def __init__(self) -> None:
+        self._direction = 1
+
+    def select(self, pending: List, head_position: int) -> int:
+        def candidates(direction: int) -> List[int]:
+            if direction > 0:
+                return [i for i, r in enumerate(pending) if r.block >= head_position]
+            return [i for i, r in enumerate(pending) if r.block <= head_position]
+
+        ahead = candidates(self._direction)
+        if not ahead:
+            self._direction = -self._direction
+            ahead = candidates(self._direction)
+        key = (lambda i: pending[i].block) if self._direction > 0 else (
+            lambda i: -pending[i].block
+        )
+        return min(ahead, key=key)
+
+
+SCHEDULERS = {
+    "fcfs": FCFSScheduler,
+    "sstf": SSTFScheduler,
+    "elevator": ElevatorScheduler,
+}
+
+
+def make_scheduler(name: str):
+    """Instantiate a scheduler by name (``fcfs`` / ``sstf`` / ``elevator``)."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None

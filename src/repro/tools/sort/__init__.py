@@ -1,0 +1,24 @@
+"""The parallel merge-sort tool (paper section 5.2)."""
+
+from repro.tools.sort.analysis import SortCostModel
+from repro.tools.sort.localsort import LocalSorter, LocalSortReport, expected_merge_passes
+from repro.tools.sort.merge import MergeStats, PairMerge, Token
+from repro.tools.sort.records import is_sorted, key_of, make_record, payload_of
+from repro.tools.sort.tool import PassStats, SortResult, SortTool
+
+__all__ = [
+    "LocalSortReport",
+    "LocalSorter",
+    "MergeStats",
+    "PairMerge",
+    "PassStats",
+    "SortCostModel",
+    "SortResult",
+    "SortTool",
+    "Token",
+    "expected_merge_passes",
+    "is_sorted",
+    "key_of",
+    "make_record",
+    "payload_of",
+]

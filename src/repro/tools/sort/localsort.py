@@ -1,0 +1,201 @@
+"""The local external sort phase (paper section 5.2, phase one).
+
+"In parallel perform local external sorts on each LFS."  Each LFS node
+sorts its own constituent file with the classic external merge sort:
+
+1. **run formation** — read ``c`` records at a time (c = 512 in the
+   paper), sort them in core (CPU charged at c·log2(c) comparisons), and
+   write each sorted run to a scratch EFS file;
+2. **local merge passes** — repeatedly 2-way merge pairs of runs until a
+   single sorted run remains, which is written into the destination
+   constituent file.
+
+The expected time is O((n/p)(1 + log c) + (n/p) log(n/(c·p))) — and the
+term that matters for the tool's superlinear speedup is the *pass count*
+``ceil(log2(ceil(s/c)))``: every doubling of p removes one local merge
+pass (section 5.2's explanation of the anomaly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import SystemConfig
+from repro.efs import EFSClient
+from repro.sim import Timeout
+from repro.tools.sort.records import key_of
+
+
+@dataclass
+class LocalSortReport:
+    """Per-node accounting for the local phase."""
+
+    slot: int
+    records: int
+    runs: int
+    merge_passes: int
+    elapsed: float
+
+
+def expected_merge_passes(records: int, buffer_records: int) -> int:
+    """Local merge passes needed for ``records`` with an in-core buffer."""
+    if records <= buffer_records:
+        return 0
+    runs = math.ceil(records / buffer_records)
+    return math.ceil(math.log2(runs))
+
+
+class LocalSorter:
+    """Sorts one constituent file on its own node, through its own LFS."""
+
+    def __init__(
+        self,
+        node,
+        lfs_port,
+        config: SystemConfig,
+        scratch_base: int,
+        use_hints: bool = True,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.client = EFSClient(node, lfs_port, name="esort")
+        self.scratch_base = scratch_base
+        self.use_hints = use_hints
+        self._next_scratch = 0
+
+    # ------------------------------------------------------------------
+
+    def sort(self, src_file: int, dst_file: int, slot: int):
+        """Externally sort ``src_file`` into (empty) ``dst_file``.
+
+        Generator; returns a :class:`LocalSortReport`.
+        """
+        sim = self.node.machine.sim
+        started = sim.now
+        info = yield from self.client.info(src_file)
+        total = info.size_blocks
+        buffer_records = self.config.sort_buffer_records
+        if total == 0:
+            return LocalSortReport(slot, 0, 0, 0, sim.now - started)
+
+        runs = yield from self._form_runs(src_file, info, total, buffer_records, dst_file)
+        run_count = len(runs)
+        passes = 0
+        while len(runs) > 1:
+            passes += 1
+            final_pass = len(runs) <= 2
+            merged: List[int] = []
+            for index in range(0, len(runs), 2):
+                if index + 1 == len(runs):
+                    merged.append(runs[index])  # odd run gets a bye
+                    continue
+                target = dst_file if (final_pass and not merged) else self._scratch()
+                yield from self._create_scratch(target, dst_file)
+                yield from self._merge_pair(runs[index], runs[index + 1], target)
+                yield from self.client.delete(runs[index])
+                yield from self.client.delete(runs[index + 1])
+                merged.append(target)
+            runs = merged
+        if runs[0] != dst_file:
+            # single run (total <= c): move it into the destination
+            yield from self._move(runs[0], dst_file)
+        return LocalSortReport(
+            slot=slot,
+            records=total,
+            runs=run_count,
+            merge_passes=passes,
+            elapsed=sim.now - started,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _scratch(self) -> int:
+        self._next_scratch += 1
+        return self.scratch_base + self._next_scratch
+
+    def _create_scratch(self, file_number: int, dst_file: int):
+        if file_number != dst_file:
+            yield from self.client.create(file_number)
+
+    def _form_runs(self, src_file, info, total, buffer_records, dst_file):
+        """Run formation: sorted bursts of up to ``buffer_records``."""
+        runs: List[int] = []
+        hint = info.head_addr if self.use_hints else None
+        position = 0
+        single = total <= buffer_records
+        while position < total:
+            burst: List[bytes] = []
+            while position < total and len(burst) < buffer_records:
+                result = yield from self.client.read(src_file, position, hint=hint)
+                hint = result.next_addr if self.use_hints else None
+                burst.append(result.data)
+                position += 1
+            compares = len(burst) * max(1, math.ceil(math.log2(max(2, len(burst)))))
+            yield Timeout(compares * self.config.cpu.compare)
+            burst.sort(key=key_of)
+            target = dst_file if single else self._scratch()
+            yield from self._create_scratch(target, dst_file)
+            for record in burst:
+                yield from self.client.append(target, record)
+            runs.append(target)
+        return runs
+
+    def _merge_pair(self, left_file: int, right_file: int, target: int):
+        """2-way merge of two sorted scratch runs into ``target``."""
+        left = _RunCursor(self.client, left_file, self.use_hints)
+        right = _RunCursor(self.client, right_file, self.use_hints)
+        yield from left.start()
+        yield from right.start()
+        while left.record is not None or right.record is not None:
+            yield Timeout(self.config.cpu.compare)
+            take_left = right.record is None or (
+                left.record is not None and key_of(left.record) <= key_of(right.record)
+            )
+            cursor = left if take_left else right
+            yield from self.client.append(target, cursor.record)
+            yield from cursor.advance()
+
+    def _move(self, src: int, dst: int):
+        """Copy a scratch run into the destination file and drop it."""
+        info = yield from self.client.info(src)
+        hint = info.head_addr if self.use_hints else None
+        for block in range(info.size_blocks):
+            result = yield from self.client.read(src, block, hint=hint)
+            hint = result.next_addr if self.use_hints else None
+            yield from self.client.append(dst, result.data)
+        yield from self.client.delete(src)
+
+
+class _RunCursor:
+    """Sequential reader over one scratch run with hint threading."""
+
+    __slots__ = ("client", "file_number", "use_hints", "size", "position",
+                 "hint", "record")
+
+    def __init__(self, client: EFSClient, file_number: int, use_hints: bool) -> None:
+        self.client = client
+        self.file_number = file_number
+        self.use_hints = use_hints
+        self.size = 0
+        self.position = 0
+        self.hint: Optional[int] = None
+        self.record: Optional[bytes] = None
+
+    def start(self):
+        info = yield from self.client.info(self.file_number)
+        self.size = info.size_blocks
+        self.hint = info.head_addr if self.use_hints else None
+        yield from self.advance()
+
+    def advance(self):
+        if self.position >= self.size:
+            self.record = None
+            return
+        result = yield from self.client.read(
+            self.file_number, self.position, hint=self.hint
+        )
+        self.hint = result.next_addr if self.use_hints else None
+        self.record = result.data
+        self.position += 1

@@ -1,0 +1,45 @@
+"""Workload generators and file builders for experiments."""
+
+from repro.workloads.datagen import (
+    few_distinct_keys,
+    pattern_chunks,
+    record_chunks,
+    reversed_keys,
+    sorted_keys,
+    text_chunks,
+    uniform_keys,
+)
+from repro.workloads.traces import (
+    ReplayResult,
+    random_trace,
+    replay_trace,
+    sequential_trace,
+    strided_trace,
+    zipf_trace,
+)
+from repro.workloads.files import (
+    build_file,
+    build_record_file,
+    build_text_file,
+    read_file,
+)
+
+__all__ = [
+    "build_file",
+    "build_record_file",
+    "build_text_file",
+    "few_distinct_keys",
+    "pattern_chunks",
+    "read_file",
+    "record_chunks",
+    "reversed_keys",
+    "sorted_keys",
+    "text_chunks",
+    "uniform_keys",
+    "ReplayResult",
+    "random_trace",
+    "replay_trace",
+    "sequential_trace",
+    "strided_trace",
+    "zipf_trace",
+]

@@ -1,0 +1,88 @@
+"""Workload generators: keys, records, and text blocks.
+
+The paper's expectation (section 3) is that "sequential access to
+relatively large files will overwhelm all other usage patterns"; the
+generators here build exactly such files — bulk record files for the sort
+tool and text files for the filter/search tools — with deterministic,
+seed-controlled contents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.config import DATA_BYTES_PER_BLOCK
+from repro.tools.sort.records import make_record
+
+_WORDS = (
+    b"butterfly bridge interleave block disk file parallel server tool "
+    b"token merge sort record stripe node process cache hint latency "
+    b"chrysalis cronus rochester system data"
+).split()
+
+
+def uniform_keys(count: int, seed: int = 0, key_space: int = 2**48) -> List[int]:
+    """Independent uniform keys (the sort benches' default workload)."""
+    rng = random.Random(seed)
+    return [rng.randrange(key_space) for _ in range(count)]
+
+
+def sorted_keys(count: int, seed: int = 0) -> List[int]:
+    """Already sorted input (best case for merge passes)."""
+    return sorted(uniform_keys(count, seed))
+
+
+def reversed_keys(count: int, seed: int = 0) -> List[int]:
+    """Reverse-sorted input."""
+    return sorted(uniform_keys(count, seed), reverse=True)
+
+
+def few_distinct_keys(count: int, distinct: int = 8, seed: int = 0) -> List[int]:
+    """Heavily duplicated keys (exercises the merge's <= tie handling)."""
+    rng = random.Random(seed)
+    values = [rng.randrange(2**32) for _ in range(distinct)]
+    return [values[rng.randrange(distinct)] for _ in range(count)]
+
+
+def record_chunks(keys: List[int], payload_bytes: int = 16,
+                  seed: int = 0) -> List[bytes]:
+    """One sortable record (= one block data area) per key."""
+    rng = random.Random(seed)
+    chunks = []
+    for key in keys:
+        payload = bytes(rng.randrange(33, 127) for _ in range(payload_bytes))
+        chunks.append(make_record(key, payload))
+    return chunks
+
+
+def text_chunks(block_count: int, seed: int = 0,
+                line_length: int = 80,
+                needle: Optional[bytes] = None,
+                needle_every: int = 0) -> List[bytes]:
+    """Blocks of fixed-length text lines; optionally plant ``needle``
+    in every ``needle_every``-th block (for grep tests)."""
+    rng = random.Random(seed)
+    chunks = []
+    for index in range(block_count):
+        lines = []
+        while sum(len(l) for l in lines) < DATA_BYTES_PER_BLOCK - line_length:
+            words: List[bytes] = []
+            while sum(len(w) + 1 for w in words) < line_length - 12:
+                words.append(_WORDS[rng.randrange(len(_WORDS))])
+            line = b" ".join(words)[: line_length - 1].ljust(line_length - 1) + b"\n"
+            lines.append(line)
+        block = b"".join(lines)[:DATA_BYTES_PER_BLOCK]
+        if needle and needle_every and index % needle_every == 0:
+            offset = rng.randrange(0, len(block) - len(needle))
+            block = block[:offset] + needle + block[offset + len(needle):]
+        chunks.append(block)
+    return chunks
+
+
+def pattern_chunks(block_count: int, stamp: bytes = b"BLK") -> List[bytes]:
+    """Self-identifying blocks (``stamp`` + index), for copy verification."""
+    return [
+        (stamp + b"-%08d|" % index) * 3
+        for index in range(block_count)
+    ]

@@ -1,0 +1,53 @@
+"""File builders: install workloads into a Bridge system."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workloads.datagen import record_chunks, text_chunks, uniform_keys
+
+
+def build_file(system, name: str, chunks: List[bytes], width=None,
+               node_slots=None, start: int = 0):
+    """Create ``name`` and write every chunk through the naive view.
+
+    Returns the file id.  Runs the simulation to completion, so call it
+    during experiment setup (measurements should use elapsed-time deltas).
+    """
+    client = system.naive_client()
+
+    def body():
+        file_id = yield from client.create(
+            name, width=width, node_slots=node_slots, start=start
+        )
+        yield from client.write_all(name, chunks)
+        return file_id
+
+    return system.run(body(), name=f"build:{name}")
+
+
+def build_record_file(system, name: str, keys, payload_bytes: int = 16,
+                      seed: int = 0, **create_kwargs):
+    """A sortable record file, one record per key."""
+    chunks = record_chunks(list(keys), payload_bytes=payload_bytes, seed=seed)
+    return build_file(system, name, chunks, **create_kwargs)
+
+
+def build_text_file(system, name: str, block_count: int, seed: int = 0,
+                    needle: Optional[bytes] = None, needle_every: int = 0,
+                    **create_kwargs):
+    """A text file of fixed-length lines, optionally with planted needles."""
+    chunks = text_chunks(
+        block_count, seed=seed, needle=needle, needle_every=needle_every
+    )
+    return build_file(system, name, chunks, **create_kwargs)
+
+
+def read_file(system, name: str) -> List[bytes]:
+    """Read a whole interleaved file back through the naive view."""
+    client = system.naive_client()
+
+    def body():
+        return (yield from client.read_all(name))
+
+    return system.run(body(), name=f"read:{name}")

@@ -1,0 +1,233 @@
+"""Tests for metrics, paper models, fitting, and table formatting."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_FILE_BLOCKS,
+    PAPER_TABLE3_COPY_SECONDS,
+    PAPER_TABLE4_SORT_MINUTES,
+    crossover_point,
+    efficiency,
+    fit_line,
+    format_markdown_table,
+    format_series,
+    format_table,
+    is_superlinear,
+    scaling_table,
+    shape_ratio,
+    speedup,
+    speedup_series,
+)
+from repro.tools.sort import SortCostModel
+
+
+# ---------------------------------------------------------------------------
+# Paper constants
+# ---------------------------------------------------------------------------
+
+
+def test_paper_file_blocks():
+    assert PAPER_FILE_BLOCKS == 10922
+
+
+def test_paper_table3_is_nearly_linear():
+    series = speedup_series(PAPER_TABLE3_COPY_SECONDS)
+    assert series[2] == 1.0
+    assert series[32] == pytest.approx(311.6 / 21.6)
+    # 16x more processors, >14x speedup
+    assert series[32] > 14.0
+
+
+def test_paper_table4_local_sort_superlinear():
+    local = {p: row[0] for p, row in PAPER_TABLE4_SORT_MINUTES.items()}
+    assert is_superlinear(local)
+
+
+def test_paper_table4_merge_modest():
+    merge = {p: row[1] for p, row in PAPER_TABLE4_SORT_MINUTES.items()}
+    assert not is_superlinear(merge)
+    series = speedup_series(merge)
+    assert series[32] < 4.0  # 17 -> 4.45 min: only ~3.8x over 16x procs
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+def test_speedup_and_efficiency():
+    assert speedup(100.0, 25.0) == 4.0
+    assert efficiency(100.0, 2, 25.0, 8) == pytest.approx(1.0)
+    assert efficiency(100.0, 2, 50.0, 8) == pytest.approx(0.5)
+
+
+def test_efficiency_validates_processors():
+    with pytest.raises(ValueError):
+        efficiency(1.0, 0, 1.0, 4)
+
+
+def test_scaling_table():
+    points = scaling_table({2: 100.0, 4: 50.0, 8: 30.0}, units=1000)
+    assert [p.p for p in points] == [2, 4, 8]
+    assert points[0].speedup == 1.0
+    assert points[1].speedup == 2.0
+    assert points[1].efficiency == pytest.approx(1.0)
+    assert points[2].throughput == pytest.approx(1000 / 30.0)
+    assert scaling_table({}, 10) == []
+
+
+def test_is_superlinear():
+    assert is_superlinear({2: 100.0, 4: 40.0, 8: 15.0})
+    assert not is_superlinear({2: 100.0, 4: 60.0})
+
+
+def test_crossover_point():
+    a = {1: 10.0, 2: 6.0, 4: 3.0}
+    b = {1: 5.0, 2: 5.0, 4: 5.0}
+    assert crossover_point(a, b) == 4
+    assert crossover_point(b, a) == 1
+    assert crossover_point({1: 9.0}, {1: 2.0}) is None
+
+
+def test_fit_line():
+    intercept, slope = fit_line([2, 4, 8, 16], [145 + 17.5 * p for p in (2, 4, 8, 16)])
+    assert intercept == pytest.approx(145.0)
+    assert slope == pytest.approx(17.5)
+
+
+def test_fit_line_validations():
+    with pytest.raises(ValueError):
+        fit_line([1], [2])
+    with pytest.raises(ValueError):
+        fit_line([3, 3], [1, 2])
+
+
+def test_shape_ratio_flat_for_scaled_series():
+    paper = {2: 100.0, 4: 50.0, 8: 25.0}
+    measured = {p: v * 0.3 for p, v in paper.items()}
+    ratios = shape_ratio(measured, paper)
+    assert all(r == pytest.approx(0.3) for r in ratios.values())
+
+
+# ---------------------------------------------------------------------------
+# Sort cost model
+# ---------------------------------------------------------------------------
+
+
+def test_sort_model_local_passes():
+    model = SortCostModel()
+    assert model.local_merge_passes(5461, 512) == 4
+    assert model.local_merge_passes(341, 512) == 0
+
+
+def test_sort_model_local_superlinear_shape():
+    model = SortCostModel()
+    times = {
+        p: model.local_sort_time(10922, p, 512) for p in (2, 4, 8, 16, 32)
+    }
+    assert is_superlinear(times, slack=1.0)
+
+
+def test_sort_model_merge_decreases_with_width():
+    model = SortCostModel()
+    times = {p: model.merge_phase_time(10922, p) for p in (2, 4, 8, 16, 32)}
+    assert times[2] > times[8] > times[32]
+    # but far from linearly
+    assert times[2] / times[32] < 16
+
+
+def test_sort_model_saturation_width():
+    model = SortCostModel(write_time=0.036, token_hop_time=0.003)
+    assert model.saturation_width() == pytest.approx(12.0)
+
+
+def test_sort_model_zero_records():
+    model = SortCostModel()
+    assert model.run_formation_time(0, 512) == 0.0
+    assert model.merge_phase_time(100, 1) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+
+def test_format_table_basic():
+    text = format_table(
+        ["p", "time"], [[2, 311.6], [32, 21.6]], title="Copy"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Copy"
+    assert "311.6" in text
+    assert "21.6" in text
+    assert lines[2].startswith("-")
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["a"], [[1000000.0]])
+    assert "1,000,000" in text
+
+
+def test_format_markdown_table():
+    text = format_markdown_table(["p", "s"], [[2, 1.5]])
+    lines = text.splitlines()
+    assert lines[0] == "| p | s |"
+    assert lines[1] == "|---|---|"
+    assert "| 2 | 1.5 |" in lines[2]
+
+
+def test_format_series():
+    text = format_series("copy", {2: 311.6, 4: 156.0}, unit="s")
+    assert "p=2: 311.6s" in text
+    assert "p=4: 156.0s" in text
+
+
+# ---------------------------------------------------------------------------
+# Copy cost model
+# ---------------------------------------------------------------------------
+
+
+def test_copy_model_shape():
+    from repro.analysis.models import copy_time_model
+
+    times = {p: copy_time_model(10922, p) for p in (2, 4, 8, 16, 32)}
+    # near-linear until startup terms matter
+    assert times[2] / times[4] > 1.9
+    assert times[16] / times[32] > 1.5
+    with pytest.raises(ValueError):
+        copy_time_model(100, 0)
+
+
+def test_copy_model_tracks_measurement():
+    """The closed form must land within 2x of a simulated run."""
+    from repro.analysis.models import copy_time_model
+    from repro.harness.experiments import run_copy_experiment
+
+    run = run_copy_experiment(4, blocks=256)
+    predicted = copy_time_model(256, 4)
+    assert predicted / 2 < run.elapsed < predicted * 2
+
+
+# ---------------------------------------------------------------------------
+# Report generation
+# ---------------------------------------------------------------------------
+
+
+def test_build_report_renders_all_sections():
+    from repro.analysis.report import build_report
+
+    report = build_report(ps=(2, 4), blocks=64, records=64)
+    assert report.startswith("# Bridge reproduction report")
+    assert "## Table 2: basic operations" in report
+    assert "## Table 3: copy tool" in report
+    assert "## Table 4: merge sort tool" in report
+    assert "Create fit:" in report
+    # markdown tables present
+    assert report.count("|---|") >= 3
+
+
+def test_build_report_validates_ps():
+    from repro.analysis.report import build_report
+
+    with pytest.raises(ValueError):
+        build_report(ps=())

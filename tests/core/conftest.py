@@ -1,0 +1,23 @@
+"""Fixtures for core tests: small Bridge systems."""
+
+import pytest
+
+from repro.harness.builders import BridgeSystem
+from repro.storage import FixedLatency
+
+
+@pytest.fixture
+def system():
+    """4 LFS nodes with the paper's 15 ms disks."""
+    return BridgeSystem(4, seed=21)
+
+
+@pytest.fixture
+def fast_system():
+    """4 LFS nodes with near-instant disks for semantics-heavy tests."""
+    return BridgeSystem(4, seed=22, disk_latency=FixedLatency(0.0001))
+
+
+def make_system(p, fast=True, **kwargs):
+    latency = FixedLatency(0.0001) if fast else FixedLatency(0.015)
+    return BridgeSystem(p, disk_latency=latency, **kwargs)

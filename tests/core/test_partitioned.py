@@ -1,0 +1,152 @@
+"""Tests for the hash-partitioned distributed Bridge Server (E17)."""
+
+import pytest
+
+from repro.core.partitioned import PartitionedBridge, PartitionedClient, partition_of
+from repro.errors import BridgeFileNotFoundError
+from repro.harness.builders import BridgeSystem
+from repro.storage import FixedLatency
+
+
+def make_system(servers=2, p=4, seed=67):
+    return BridgeSystem(
+        p,
+        seed=seed,
+        disk_latency=FixedLatency(0.0005),
+        bridge_server_count=servers,
+    )
+
+
+def test_partition_of_deterministic_and_in_range():
+    for name in ("a", "b", "some/longer/name", ""):
+        index = partition_of(name, 4)
+        assert 0 <= index < 4
+        assert index == partition_of(name, 4)
+
+
+def test_partition_of_rejects_zero():
+    with pytest.raises(ValueError):
+        partition_of("x", 0)
+
+
+def test_partitioned_bridge_requires_servers():
+    with pytest.raises(ValueError):
+        PartitionedBridge([])
+
+
+def test_builder_creates_requested_servers():
+    system = make_system(servers=3)
+    assert len(system.bridges) == 3
+    assert system.bridge is system.bridges[0]
+    assert len({b.node.index for b in system.bridges}) == 3
+
+
+def test_files_distribute_across_partitions():
+    system = make_system(servers=4)
+    client = system.partitioned_client()
+    names = [f"file-{i}" for i in range(32)]
+
+    def body():
+        for name in names:
+            yield from client.create(name)
+            yield from client.seq_write(name, name.encode())
+
+    system.run(body())
+    counts = [len(b.directory) for b in system.bridges]
+    assert sum(counts) == 32
+    assert all(count > 0 for count in counts)  # every partition used
+
+
+def test_partitioned_roundtrip():
+    system = make_system(servers=2)
+    client = system.partitioned_client()
+
+    def body():
+        out = {}
+        for name in ("alpha", "beta", "gamma"):
+            yield from client.create(name)
+            yield from client.seq_write(name, name.encode())
+            chunks = yield from client.read_all(name)
+            out[name] = chunks[0]
+        return out
+
+    out = system.run(body())
+    for name, chunk in out.items():
+        assert chunk.startswith(name.encode())
+
+
+def test_partitioned_delete_routes_correctly():
+    system = make_system(servers=3)
+    client = system.partitioned_client()
+
+    def body():
+        yield from client.create("victim")
+        yield from client.seq_write("victim", b"x")
+        freed = yield from client.delete("victim")
+        try:
+            yield from client.open("victim")
+        except BridgeFileNotFoundError:
+            return freed, "gone"
+
+    assert system.run(body()) == (1, "gone")
+
+
+def test_partition_isolation():
+    """A name only exists in its own partition."""
+    system = make_system(servers=2)
+    client = system.partitioned_client()
+
+    def body():
+        yield from client.create("only-here")
+
+    system.run(body())
+    owner = partition_of("only-here", 2)
+    assert system.bridges[owner].directory.exists("only-here")
+    assert not system.bridges[1 - owner].directory.exists("only-here")
+
+
+def test_partitioned_get_info():
+    system = make_system(servers=2)
+    client = system.partitioned_client()
+
+    def body():
+        return (yield from client.get_info())
+
+    info = system.run(body())
+    assert info.width == 4
+
+
+def test_many_clients_scale_with_partitions():
+    """The paper's bottleneck remark: concurrent naive traffic gets
+    faster when the central server becomes a distributed collection."""
+
+    def makespan(servers):
+        system = BridgeSystem(
+            4, seed=68, bridge_server_count=servers
+        )  # real 15 ms disks
+        client_count = 8
+        blocks = 12
+        clients = [system.partitioned_client() for _ in range(client_count)]
+
+        def worker(index, client):
+            name = f"c{index}"
+            yield from client.create(name)
+            for b in range(blocks):
+                yield from client.seq_write(name, b"w" * 64)
+            yield from client.open(name)
+            while True:
+                block, _ = yield from client.seq_read(name)
+                if block is None:
+                    return
+
+        processes = [
+            system.client_node.spawn(worker(i, c), name=f"client{i}")
+            for i, c in enumerate(clients)
+        ]
+        system.sim.run()
+        assert all(p.done for p in processes)
+        return system.sim.now
+
+    single = makespan(1)
+    quad = makespan(4)
+    assert quad < single * 0.7

@@ -1,0 +1,37 @@
+"""Shared fixtures for EFS tests: a single-node machine with one LFS."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.efs import EFSClient, EFSServer
+from repro.machine import Machine
+from repro.sim import Simulator
+from repro.storage import DiskParameters, FixedLatency, SimulatedDisk
+
+
+class EFSHarness:
+    """One node, one disk, one EFS server, one client on the same node."""
+
+    def __init__(self, capacity_blocks=2048, access_time=0.015, config=None):
+        self.config = config or DEFAULT_CONFIG
+        self.sim = Simulator(seed=13)
+        self.machine = Machine(self.sim, 1, config=self.config)
+        self.node = self.machine.node(0)
+        params = DiskParameters(name="lfs-disk", capacity_blocks=capacity_blocks)
+        self.disk = SimulatedDisk(self.sim, params, FixedLatency(access_time))
+        self.server = EFSServer(self.node, self.disk, self.config)
+        self.client = EFSClient(self.node, self.server.port)
+
+    def run(self, generator):
+        return self.sim.run_process(generator)
+
+
+@pytest.fixture
+def efs():
+    return EFSHarness()
+
+
+@pytest.fixture
+def fast_efs():
+    """Near-zero disk latency: for pure-semantics tests that do many ops."""
+    return EFSHarness(access_time=0.0001)

@@ -1,0 +1,224 @@
+"""Tests for the EFS block cache (LRU, write-back, track prefetch)."""
+
+import pytest
+
+from repro.efs import BlockCache
+from repro.sim import Simulator
+from repro.storage import DiskParameters, FixedLatency, SimulatedDisk
+
+
+def make(capacity=4, track_blocks=4, access_time=0.015, hit_cpu=0.0):
+    sim = Simulator(seed=5)
+    params = DiskParameters(name="d", capacity_blocks=256)
+    disk = SimulatedDisk(sim, params, FixedLatency(access_time))
+    cache = BlockCache(disk, capacity=capacity, track_blocks=track_blocks,
+                       hit_cpu=hit_cpu)
+    return sim, disk, cache
+
+
+def test_miss_then_hit():
+    sim, disk, cache = make(track_blocks=1)
+    disk.load_image({3: b"A" * 1024})
+
+    def body():
+        first = yield from cache.read(3)
+        second = yield from cache.read(3)
+        return first, second, sim.now
+
+    first, second, elapsed = sim.run_process(body())
+    assert first == second == b"A" * 1024
+    assert cache.hits == 1 and cache.misses == 1
+    assert elapsed == pytest.approx(0.015)  # only one device access
+    assert disk.reads == 1
+
+
+def test_track_prefetch_serves_siblings_without_io():
+    sim, disk, cache = make(track_blocks=4)
+    disk.load_image({i: bytes([i]) * 1024 for i in range(8)})
+
+    def body():
+        yield from cache.read(0)  # pulls track 0-3
+        for sibling in (1, 2, 3):
+            yield from cache.read(sibling)
+        return sim.now
+
+    elapsed = sim.run_process(body())
+    assert elapsed == pytest.approx(0.015)
+    assert cache.misses == 1 and cache.hits == 3
+    assert disk.reads == 1
+
+
+def test_prefetch_skips_unwritten_siblings():
+    sim, disk, cache = make(track_blocks=4)
+    disk.load_image({0: b"x" * 1024})  # 1-3 never written
+
+    def body():
+        yield from cache.read(0)
+        yield from cache.read(1)  # miss: nothing was prefetched for it
+
+    sim.run_process(body())
+    assert cache.misses == 2
+
+
+def test_prefetch_disabled_flag():
+    sim, disk, cache = make(track_blocks=4)
+    disk.load_image({i: b"x" * 1024 for i in range(4)})
+
+    def body():
+        yield from cache.read(0, prefetch=False)
+        yield from cache.read(1)
+
+    sim.run_process(body())
+    assert cache.misses == 2
+
+
+def test_lru_eviction_order():
+    sim, disk, cache = make(capacity=2, track_blocks=1)
+    disk.load_image({i: bytes([i]) * 1024 for i in range(3)})
+
+    def body():
+        yield from cache.read(0)
+        yield from cache.read(1)
+        yield from cache.read(2)  # evicts 0
+        yield from cache.read(0)  # miss again
+
+    sim.run_process(body())
+    assert cache.misses == 4
+    assert cache.evictions >= 1
+
+
+def test_write_through_is_clean_and_cached():
+    sim, disk, cache = make(track_blocks=1)
+
+    def body():
+        yield from cache.write_through(5, b"W" * 1024)
+        data = yield from cache.read(5)
+        return data
+
+    assert sim.run_process(body()) == b"W" * 1024
+    assert disk.writes == 1
+    assert cache.hits == 1  # the read was served from cache
+
+
+def test_write_back_defers_device_write():
+    sim, disk, cache = make(track_blocks=1)
+
+    def body():
+        yield from cache.write_back(5, b"B" * 1024)
+        return sim.now
+
+    elapsed = sim.run_process(body())
+    assert elapsed == 0.0  # no device I/O yet
+    assert disk.writes == 0
+    assert cache.peek(5) == b"B" * 1024
+
+
+def test_dirty_block_flushed_on_eviction():
+    sim, disk, cache = make(capacity=2, track_blocks=1)
+    disk.load_image({0: b"0" * 1024, 1: b"1" * 1024})
+
+    def body():
+        yield from cache.write_back(9, b"D" * 1024)
+        yield from cache.read(0)
+        yield from cache.read(1)  # capacity 2: evicts dirty 9
+
+    sim.run_process(body())
+    assert disk.writes == 1
+    assert disk.blocks[9] == b"D" * 1024
+    assert cache.writebacks == 1
+
+
+def test_flush_writes_all_dirty():
+    sim, disk, cache = make(capacity=8, track_blocks=1)
+
+    def body():
+        yield from cache.write_back(3, b"a" * 1024)
+        yield from cache.write_back(1, b"b" * 1024)
+        yield from cache.flush()
+
+    sim.run_process(body())
+    assert disk.blocks[3] == b"a" * 1024
+    assert disk.blocks[1] == b"b" * 1024
+    assert disk.writes == 2
+
+    # flushing again writes nothing new
+    def body2():
+        yield from cache.flush()
+
+    sim.run_process(body2())
+    assert disk.writes == 2
+
+
+def test_invalidate_removes_entry():
+    sim, disk, cache = make(track_blocks=1)
+    disk.load_image({4: b"z" * 1024})
+
+    def body():
+        yield from cache.read(4)
+        cache.invalidate(4)
+        yield from cache.read(4)
+
+    sim.run_process(body())
+    assert cache.misses == 2
+
+
+def test_invalidate_all():
+    sim, disk, cache = make(track_blocks=1)
+    disk.load_image({1: b"m" * 1024})
+
+    def body():
+        yield from cache.read(1)
+        cache.invalidate_all()
+
+    sim.run_process(body())
+    assert len(cache) == 0
+
+
+def test_hit_cpu_charged():
+    sim, disk, cache = make(track_blocks=1, hit_cpu=0.001)
+    disk.load_image({0: b"h" * 1024})
+
+    def body():
+        yield from cache.read(0)
+        start = sim.now
+        yield from cache.read(0)
+        return sim.now - start
+
+    assert sim.run_process(body()) == pytest.approx(0.001)
+
+
+def test_hit_rate():
+    sim, disk, cache = make(track_blocks=1)
+    disk.load_image({0: b"r" * 1024})
+
+    def body():
+        for _ in range(4):
+            yield from cache.read(0)
+
+    sim.run_process(body())
+    assert cache.hit_rate == pytest.approx(0.75)
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    params = DiskParameters(name="d", capacity_blocks=8)
+    disk = SimulatedDisk(sim, params, FixedLatency(0.001))
+    with pytest.raises(ValueError):
+        BlockCache(disk, capacity=0)
+    with pytest.raises(ValueError):
+        BlockCache(disk, track_blocks=0)
+
+
+def test_prefetch_never_overwrites_dirty_entry():
+    """A track prefetch must not clobber newer write-back data with the
+    stale on-device image."""
+    sim, disk, cache = make(capacity=8, track_blocks=4)
+    disk.load_image({i: b"old" + bytes(1021) for i in range(4)})
+
+    def body():
+        yield from cache.write_back(1, b"new" + bytes(1021))
+        yield from cache.read(0)  # prefetches the track, must skip 1
+        data = yield from cache.read(1)
+        return data
+
+    assert sim.run_process(body())[:3] == b"new"

@@ -1,0 +1,191 @@
+"""Tests for the EFS consistency checker — and, through it, for the
+on-disk invariants of every mutating operation."""
+
+import pytest
+
+from repro.efs.fsck import check_efs, check_system
+from repro.efs.layout import BridgeHeader, EFSHeader, pack_block
+from tests.efs.conftest import EFSHarness
+
+
+def run_ops(efs, body):
+    efs.run(body())
+    return check_efs(efs.server)
+
+
+def test_clean_after_creates_and_appends(fast_efs):
+    def body():
+        for number in (1, 2, 3):
+            yield from fast_efs.client.create(number)
+            for i in range(5):
+                yield from fast_efs.client.append(number, b"x%d" % i)
+
+    report = run_ops(fast_efs, body)
+    assert report.clean, report.errors
+    assert report.files_checked == 3
+    assert report.blocks_checked == 15
+
+
+def test_clean_after_deletes(fast_efs):
+    def body():
+        for number in (1, 2):
+            yield from fast_efs.client.create(number)
+            for _ in range(4):
+                yield from fast_efs.client.append(number, b"d")
+        yield from fast_efs.client.delete(1)
+
+    report = run_ops(fast_efs, body)
+    assert report.clean, report.errors
+    assert report.files_checked == 1
+
+
+def test_clean_after_overwrites(fast_efs):
+    def body():
+        yield from fast_efs.client.create(9)
+        for i in range(6):
+            yield from fast_efs.client.append(9, b"v1")
+        for i in (0, 3, 5):
+            yield from fast_efs.client.write(9, i, b"v2")
+
+    report = run_ops(fast_efs, body)
+    assert report.clean, report.errors
+
+
+def test_clean_after_interleaved_churn(fast_efs):
+    """Create/append/delete churn across files must leave no orphans."""
+
+    def body():
+        for round_index in range(3):
+            for number in range(4):
+                yield from fast_efs.client.create(100 + number)
+                for i in range(round_index + 2):
+                    yield from fast_efs.client.append(100 + number, b"c")
+            for number in range(0, 4, 2):
+                yield from fast_efs.client.delete(100 + number)
+            for number in range(1, 4, 2):
+                yield from fast_efs.client.delete(100 + number)
+
+    report = run_ops(fast_efs, body)
+    assert report.clean, report.errors
+
+
+def test_detects_corrupted_link():
+    efs = EFSHarness(access_time=0.0001)
+
+    def body():
+        yield from efs.client.create(5)
+        for _ in range(4):
+            yield from efs.client.append(5, b"ok")
+        yield from efs.client.flush()
+
+    efs.run(body())
+    # find the head and smash its next pointer on the raw device
+    report_before = check_efs(efs.server)
+    assert report_before.clean
+
+    def corrupt():
+        info = yield from efs.client.info(5)
+        return info.head_addr
+
+    head = efs.run(corrupt())
+    from repro.efs.layout import unpack_block
+
+    header, bridge, data = unpack_block(efs.disk.blocks[head])
+    header.next_addr = head  # short-circuit the list
+    efs.disk.blocks[head] = pack_block(header, bridge, data[:10])
+    efs.server.cache.invalidate_all()
+
+    report = check_efs(efs.server)
+    assert not report.clean
+    assert any("unreachable" in e or "prev" in e for e in report.errors)
+
+
+def test_detects_cross_file_claim():
+    efs = EFSHarness(access_time=0.0001)
+
+    def body():
+        yield from efs.client.create(1)
+        yield from efs.client.append(1, b"mine")
+        yield from efs.client.flush()
+
+    efs.run(body())
+
+    def find_head():
+        info = yield from efs.client.info(1)
+        return info.head_addr
+
+    head = efs.run(find_head())
+    # forge the block to claim it belongs to file 2
+    from repro.efs.layout import unpack_block
+
+    header, bridge, data = unpack_block(efs.disk.blocks[head])
+    header.file_number = 2
+    efs.disk.blocks[head] = pack_block(header, bridge, data[:10])
+    efs.server.cache.invalidate_all()
+
+    report = check_efs(efs.server)
+    assert not report.clean
+    assert any("owned by" in e for e in report.errors)
+
+
+def test_detects_orphan_block():
+    efs = EFSHarness(access_time=0.0001)
+
+    def body():
+        yield from efs.client.create(1)
+        yield from efs.client.append(1, b"a")
+
+    efs.run(body())
+    # leak an allocation
+    efs.server.freelist.allocate()
+    report = check_efs(efs.server)
+    assert not report.clean
+    assert any("unreachable" in e for e in report.errors)
+
+
+def test_sees_through_dirty_cache(fast_efs):
+    """Blocks still dirty in the cache (head back-pointers) must not be
+    reported as inconsistencies: the checker sees the post-write-back
+    image."""
+
+    def body():
+        yield from fast_efs.client.create(7)
+        for _ in range(6):
+            yield from fast_efs.client.append(7, b"w")
+        # no flush: head prev-pointer updates are still dirty
+
+    report = run_ops(fast_efs, body)
+    assert report.clean, report.errors
+
+
+def test_check_system_covers_all_lfs():
+    from repro.harness.builders import BridgeSystem
+    from repro.storage import FixedLatency
+    from repro.workloads import build_file, pattern_chunks
+
+    system = BridgeSystem(4, seed=111, disk_latency=FixedLatency(0.0005))
+    build_file(system, "spread", pattern_chunks(10))
+    reports = check_system(system)
+    assert len(reports) == 4
+    assert all(r.clean for r in reports)
+    assert sum(r.blocks_checked for r in reports) == 10
+
+
+def test_clean_after_full_sort_workload():
+    """The heaviest mutator we have: the sort tool's scratch churn must
+    leave every LFS structurally clean."""
+    from repro.harness.builders import BridgeSystem
+    from repro.storage import FixedLatency
+    from repro.tools import SortTool
+    from repro.workloads import build_record_file, uniform_keys
+
+    system = BridgeSystem(4, seed=113, disk_latency=FixedLatency(0.0005))
+    build_record_file(system, "u", uniform_keys(32, seed=7))
+    tool = SortTool(system.client_node, system.bridge.port, system.config)
+
+    def body():
+        return (yield from tool.run("u", "s"))
+
+    system.run(body())
+    for report in check_system(system):
+        assert report.clean, report.errors

@@ -1,0 +1,110 @@
+"""Tests for the write-behind extension (section 6's assumption)."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.efs.fsck import check_efs
+from tests.efs.conftest import EFSHarness
+
+
+def make(write_behind=True, access_time=0.015):
+    config = DEFAULT_CONFIG.with_changes(efs_write_behind=write_behind)
+    return EFSHarness(access_time=access_time, config=config)
+
+
+def test_write_behind_roundtrip():
+    efs = make()
+
+    def body():
+        yield from efs.client.create(1)
+        for index in range(8):
+            yield from efs.client.append(1, b"wb-%d" % index)
+        chunks = yield from efs.client.read_file(1)
+        return chunks
+
+    chunks = efs.run(body())
+    assert [c[:4] for c in chunks] == [b"wb-%d" % i for i in range(8)]
+
+
+def test_write_behind_appends_much_cheaper():
+    def append_cost(write_behind):
+        efs = make(write_behind=write_behind)
+
+        def body():
+            yield from efs.client.create(1)
+            yield from efs.client.append(1, b"warm")
+            yield from efs.client.append(1, b"warm")
+            start = efs.sim.now
+            for _ in range(10):
+                yield from efs.client.append(1, b"x")
+            return (efs.sim.now - start) / 10
+
+        return efs.run(body())
+
+    behind = append_cost(True)
+    through = append_cost(False)
+    assert through > 0.030       # write-through: two device writes
+    assert behind < through / 3  # write-behind: cache-speed appends
+
+
+def test_write_behind_flush_persists_to_device():
+    efs = make()
+
+    def body():
+        yield from efs.client.create(2)
+        for _ in range(4):
+            yield from efs.client.append(2, b"durable")
+        writes_before_flush = efs.disk.writes
+        yield from efs.client.flush()
+        return writes_before_flush, efs.disk.writes
+
+    before, after = efs.run(body())
+    assert before < after  # the flush did the deferred device writes
+    report = check_efs(efs.server)
+    assert report.clean, report.errors
+
+
+def test_write_behind_delete_sees_unflushed_blocks():
+    efs = make()
+
+    def body():
+        yield from efs.client.create(3)
+        for _ in range(5):
+            yield from efs.client.append(3, b"gone soon")
+        freed = yield from efs.client.delete(3)  # no flush in between
+        return freed
+
+    assert efs.run(body()) == 5
+    report = check_efs(efs.server)
+    assert report.clean, report.errors
+
+
+def test_write_behind_overwrite_in_place():
+    efs = make()
+
+    def body():
+        yield from efs.client.create(4)
+        for _ in range(3):
+            yield from efs.client.append(4, b"v1")
+        yield from efs.client.write(4, 1, b"v2")
+        chunks = yield from efs.client.read_file(4)
+        return chunks
+
+    chunks = efs.run(body())
+    assert chunks[1][:2] == b"v2"
+    assert chunks[0][:2] == b"v1"
+
+
+def test_write_behind_fsck_clean_after_churn():
+    efs = make(access_time=0.0005)
+
+    def body():
+        for number in (1, 2, 3):
+            yield from efs.client.create(number)
+            for i in range(6):
+                yield from efs.client.append(number, b"c%d" % i)
+        yield from efs.client.delete(2)
+
+    efs.run(body())
+    report = check_efs(efs.server)
+    assert report.clean, report.errors

@@ -1,0 +1,269 @@
+"""Tests for gather, Detached handlers, tree spawn, and the relay."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.machine import Client, Machine, Request, Response, Server, gather
+from repro.machine.rpc import Detached
+from repro.sim import Simulator, Timeout
+from repro.tools.base import sequential_spawn, tree_spawn
+
+
+def make_machine(nodes=4):
+    sim = Simulator(seed=91)
+    return sim, Machine(sim, nodes)
+
+
+class SlowServer(Server):
+    def op_work(self, delay, tag):
+        yield Timeout(delay)
+        return tag
+
+    def op_fail(self, message):
+        yield Timeout(0.0)
+        raise RuntimeError(message)
+
+    def op_slow_detached(self, delay, tag):
+        yield Timeout(0.001)  # synchronous part
+
+        def finish():
+            yield Timeout(delay)
+            return tag
+
+        return Detached(finish())
+
+    def op_detached_error(self):
+        yield Timeout(0.0)
+
+        def finish():
+            yield Timeout(0.001)
+            raise ValueError("detached boom")
+
+        return Detached(finish())
+
+
+# ---------------------------------------------------------------------------
+# gather
+# ---------------------------------------------------------------------------
+
+
+def test_gather_waits_for_slowest_and_keeps_order():
+    sim, machine = make_machine(3)
+    servers = [SlowServer(machine.node(i), f"s{i}") for i in (0, 1)]
+
+    def body():
+        calls = [
+            (servers[0].port, "work", {"delay": 0.05, "tag": "slow"}, 0),
+            (servers[1].port, "work", {"delay": 0.01, "tag": "fast"}, 0),
+        ]
+        values = yield from gather(machine.node(2), calls)
+        return values, sim.now
+
+    values, elapsed = sim.run_process(body())
+    assert values == ["slow", "fast"]  # call order, not completion order
+    assert elapsed >= 0.05
+
+
+def test_gather_raises_first_error():
+    sim, machine = make_machine(2)
+    server = SlowServer(machine.node(0), "s")
+
+    def body():
+        calls = [
+            (server.port, "fail", {"message": "nope"}, 0),
+            (server.port, "work", {"delay": 0.0, "tag": "x"}, 0),
+        ]
+        try:
+            yield from gather(machine.node(1), calls)
+        except RuntimeError as exc:
+            return str(exc)
+
+    assert sim.run_process(body()) == "nope"
+
+
+def test_gather_empty_calls():
+    sim, machine = make_machine(1)
+
+    def body():
+        values = yield from gather(machine.node(0), [])
+        return values
+
+    assert sim.run_process(body()) == []
+
+
+# ---------------------------------------------------------------------------
+# Detached handlers
+# ---------------------------------------------------------------------------
+
+
+def test_detached_frees_the_server_loop():
+    """A slow detached request must not delay a later fast request."""
+    sim, machine = make_machine(2)
+    server = SlowServer(machine.node(0), "s")
+    completions = []
+
+    def caller(method, label, **args):
+        client = Client(machine.node(1), label)
+
+        def body():
+            value = yield from client.call(server.port, method, **args)
+            completions.append((label, value, sim.now))
+
+        return body()
+
+    sim.spawn(caller("slow_detached", "detached", delay=1.0, tag="D"))
+
+    def late_fast():
+        yield Timeout(0.01)
+        client = Client(machine.node(1), "fast")
+        value = yield from client.call(server.port, "work", delay=0.0, tag="F")
+        completions.append(("fast", value, sim.now))
+
+    sim.spawn(late_fast())
+    sim.run()
+    order = [label for label, _v, _t in completions]
+    assert order == ["fast", "detached"]
+    by_label = {label: t for label, _v, t in completions}
+    assert by_label["fast"] < 0.1
+    assert by_label["detached"] >= 1.0
+
+
+def test_detached_result_reaches_caller():
+    sim, machine = make_machine(2)
+    server = SlowServer(machine.node(0), "s")
+    client = Client(machine.node(1))
+
+    def body():
+        return (
+            yield from client.call(server.port, "slow_detached",
+                                   delay=0.05, tag="payload")
+        )
+
+    assert sim.run_process(body()) == "payload"
+
+
+def test_detached_error_reaches_caller():
+    sim, machine = make_machine(2)
+    server = SlowServer(machine.node(0), "s")
+    client = Client(machine.node(1))
+
+    def body():
+        try:
+            yield from client.call(server.port, "detached_error")
+        except ValueError as exc:
+            return str(exc)
+
+    assert sim.run_process(body()) == "detached boom"
+
+
+# ---------------------------------------------------------------------------
+# Tree spawn
+# ---------------------------------------------------------------------------
+
+
+def _worker(sim, tag, delay, log):
+    yield Timeout(delay)
+    log.append((tag, sim.now))
+    return tag
+
+
+def test_tree_spawn_returns_results_in_spec_order():
+    sim, machine = make_machine(8)
+    log = []
+    specs = [
+        (machine.node(i), _worker(sim, f"w{i}", 0.01, log), f"w{i}")
+        for i in range(8)
+    ]
+
+    def body():
+        return (yield from tree_spawn(machine, specs))
+
+    results = sim.run_process(body())
+    assert results == [f"w{i}" for i in range(8)]
+    assert len(log) == 8
+
+
+def test_tree_spawn_empty():
+    sim, machine = make_machine(1)
+
+    def body():
+        return (yield from tree_spawn(machine, []))
+
+    assert sim.run_process(body()) == []
+
+
+def test_tree_spawn_faster_startup_than_sequential():
+    """With many workers, the log-depth spawn tree starts the last worker
+    sooner than a sequential spawner."""
+
+    def last_start(spawner):
+        sim, machine = make_machine(16)
+        starts = []
+
+        def worker(tag):
+            starts.append(sim.now)
+            yield Timeout(0.001)
+            return tag
+
+        specs = [(machine.node(i), worker(i), f"w{i}") for i in range(16)]
+
+        def body():
+            return (yield from spawner(machine, specs))
+
+        sim.run_process(body())
+        return max(starts)
+
+    assert last_start(tree_spawn) < last_start(sequential_spawn)
+
+
+def test_sequential_spawn_results_in_order():
+    sim, machine = make_machine(4)
+    log = []
+    specs = [
+        (machine.node(i), _worker(sim, i, 0.01 * (4 - i), log), f"w{i}")
+        for i in range(4)
+    ]
+
+    def body():
+        return (yield from sequential_spawn(machine, specs))
+
+    assert sim.run_process(body()) == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# Relay broadcast
+# ---------------------------------------------------------------------------
+
+
+def test_relay_tree_reaches_every_target_in_order():
+    from repro.core.relay import RelayServer
+
+    sim, machine = make_machine(8)
+
+    class Target(Server):
+        def op_mark(self, value):
+            yield Timeout(0.001)
+            return value * 10
+
+    targets = [Target(machine.node(i), f"t{i}") for i in range(8)]
+    relays = [
+        RelayServer(machine.node(i), targets[i].port, DEFAULT_CONFIG)
+        for i in range(8)
+    ]
+    entries = [
+        {"efs_port": targets[i].port, "relay_port": relays[i].port,
+         "args": {"value": i}}
+        for i in range(8)
+    ]
+    client = Client(machine.node(0))
+
+    def body():
+        return (
+            yield from client.call(
+                relays[0].port, "relay", entries=entries, relay_method="mark"
+            )
+        )
+
+    results = sim.run_process(body())
+    assert results == [i * 10 for i in range(8)]
+    assert all(t.requests_served == 1 for t in targets)

@@ -1,0 +1,463 @@
+"""Tests for mailboxes, resources, signals, AllOf/AnyOf combinators."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Lock,
+    Mailbox,
+    Resource,
+    Signal,
+    Simulator,
+    Timeout,
+)
+
+
+# ---------------------------------------------------------------------------
+# Mailbox
+# ---------------------------------------------------------------------------
+
+
+def test_mailbox_delivers_queued_message():
+    sim = Simulator()
+    box = Mailbox(sim)
+    box.deliver("hello")
+
+    def receiver():
+        msg = yield box.recv()
+        return msg
+
+    assert sim.run_process(receiver()) == "hello"
+
+
+def test_mailbox_blocks_until_delivery():
+    sim = Simulator()
+    box = Mailbox(sim)
+
+    def sender():
+        yield Timeout(1.0)
+        box.deliver("late")
+
+    def receiver():
+        msg = yield box.recv()
+        return (msg, sim.now)
+
+    sim.spawn(sender())
+    msg, when = sim.run_process(receiver())
+    assert msg == "late"
+    assert when == pytest.approx(1.0)
+
+
+def test_mailbox_fifo_ordering():
+    sim = Simulator()
+    box = Mailbox(sim)
+    for i in range(5):
+        box.deliver(i)
+
+    def receiver():
+        got = []
+        for _ in range(5):
+            got.append((yield box.recv()))
+        return got
+
+    assert sim.run_process(receiver()) == [0, 1, 2, 3, 4]
+
+
+def test_mailbox_multiple_waiters_fifo():
+    sim = Simulator()
+    box = Mailbox(sim)
+    order = []
+
+    def waiter(tag):
+        msg = yield box.recv()
+        order.append((tag, msg))
+
+    def feeder():
+        yield Timeout(1.0)
+        box.deliver("x")
+        box.deliver("y")
+
+    sim.spawn(waiter("first"))
+    sim.spawn(waiter("second"))
+    sim.spawn(feeder())
+    sim.run()
+    assert order == [("first", "x"), ("second", "y")]
+
+
+def test_mailbox_len_and_peek():
+    sim = Simulator()
+    box = Mailbox(sim)
+    assert len(box) == 0
+    assert box.peek() is None
+    box.deliver("a")
+    box.deliver("b")
+    assert len(box) == 2
+    assert box.peek() == "a"
+    assert box.messages_delivered == 2
+
+
+def test_mailbox_has_waiters():
+    sim = Simulator()
+    box = Mailbox(sim)
+
+    def waiter():
+        yield box.recv()
+
+    sim.spawn(waiter(), daemon=True)
+    sim.run()
+    assert box.has_waiters
+
+
+# ---------------------------------------------------------------------------
+# Signal
+# ---------------------------------------------------------------------------
+
+
+def test_signal_wakes_all_waiters():
+    sim = Simulator()
+    sig = Signal(sim)
+    woken = []
+
+    def waiter(tag):
+        value = yield sig
+        woken.append((tag, value, sim.now))
+
+    def firer():
+        yield Timeout(2.0)
+        sig.fire("go")
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.spawn(firer())
+    sim.run()
+    assert sorted(woken) == [
+        ("a", "go", pytest.approx(2.0)),
+        ("b", "go", pytest.approx(2.0)),
+    ]
+
+
+def test_signal_fire_idempotent():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.fire(1)
+    sig.fire(2)
+    assert sig.value == 1
+
+
+def test_signal_after_fire_returns_immediately():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.fire("early")
+
+    def waiter():
+        value = yield sig
+        return (value, sim.now)
+
+    assert sim.run_process(waiter()) == ("early", 0.0)
+
+
+# ---------------------------------------------------------------------------
+# AllOf / AnyOf
+# ---------------------------------------------------------------------------
+
+
+def test_allof_waits_for_slowest():
+    sim = Simulator()
+    sigs = [Signal(sim) for _ in range(3)]
+    for index, delay in enumerate([0.3, 0.1, 0.2]):
+        sim.call_later(delay, sigs[index].fire, index)
+
+    def waiter():
+        values = yield AllOf(sigs)
+        return (values, sim.now)
+
+    values, when = sim.run_process(waiter())
+    assert values == [0, 1, 2]
+    assert when == pytest.approx(0.3)
+
+
+def test_allof_with_all_fired_already():
+    sim = Simulator()
+    sigs = [Signal(sim) for _ in range(2)]
+    for index, sig in enumerate(sigs):
+        sig.fire(index * 10)
+
+    def waiter():
+        values = yield AllOf(sigs)
+        return values
+
+    assert sim.run_process(waiter()) == [0, 10]
+
+
+def test_allof_empty_list():
+    sim = Simulator()
+
+    def waiter():
+        values = yield AllOf([])
+        return values
+
+    assert sim.run_process(waiter()) == []
+
+
+def test_anyof_returns_first():
+    sim = Simulator()
+    sigs = [Signal(sim) for _ in range(3)]
+    sim.call_later(0.5, sigs[0].fire, "slow")
+    sim.call_later(0.1, sigs[2].fire, "fast")
+
+    def waiter():
+        index, value = yield AnyOf(sigs)
+        return (index, value, sim.now)
+
+    index, value, when = sim.run_process(waiter())
+    assert (index, value) == (2, "fast")
+    assert when == pytest.approx(0.1)
+
+
+def test_anyof_prefers_already_fired():
+    sim = Simulator()
+    sigs = [Signal(sim), Signal(sim)]
+    sigs[1].fire("done")
+
+    def waiter():
+        return (yield AnyOf(sigs))
+
+    assert sim.run_process(waiter()) == (1, "done")
+
+
+# ---------------------------------------------------------------------------
+# Resource / Lock
+# ---------------------------------------------------------------------------
+
+
+def test_resource_serializes_holders():
+    sim = Simulator()
+    disk = Resource(sim, capacity=1, name="disk")
+    completions = []
+
+    def user(tag):
+        yield disk.acquire()
+        yield Timeout(1.0)
+        disk.release()
+        completions.append((tag, sim.now))
+
+    for tag in range(3):
+        sim.spawn(user(tag))
+    sim.run()
+    assert completions == [
+        (0, pytest.approx(1.0)),
+        (1, pytest.approx(2.0)),
+        (2, pytest.approx(3.0)),
+    ]
+
+
+def test_resource_capacity_allows_parallelism():
+    sim = Simulator()
+    pool = Resource(sim, capacity=2)
+    completions = []
+
+    def user(tag):
+        yield pool.acquire()
+        yield Timeout(1.0)
+        pool.release()
+        completions.append((tag, sim.now))
+
+    for tag in range(4):
+        sim.spawn(user(tag))
+    sim.run()
+    times = [t for _tag, t in completions]
+    assert times == pytest.approx([1.0, 1.0, 2.0, 2.0])
+
+
+def test_resource_release_without_acquire_is_error():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_rejects_zero_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_utilization_tracking():
+    sim = Simulator()
+    res = Resource(sim)
+
+    def user():
+        yield res.acquire()
+        yield Timeout(2.0)
+        res.release()
+        yield Timeout(2.0)
+
+    sim.spawn(user())
+    sim.run()
+    assert res.utilization() == pytest.approx(0.5)
+    assert res.total_acquires == 1
+
+
+def test_resource_wait_time_accounting():
+    sim = Simulator()
+    res = Resource(sim)
+
+    def holder():
+        yield res.acquire()
+        yield Timeout(3.0)
+        res.release()
+
+    def waiter():
+        yield Timeout(1.0)
+        yield res.acquire()
+        res.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    assert res.total_wait_time == pytest.approx(2.0)
+
+
+def test_resource_queue_length():
+    sim = Simulator()
+    res = Resource(sim)
+    lengths = []
+
+    def holder():
+        yield res.acquire()
+        yield Timeout(5.0)
+        res.release()
+
+    def waiter():
+        yield res.acquire()
+        res.release()
+
+    def probe():
+        yield Timeout(1.0)
+        lengths.append(res.queue_length)
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.spawn(waiter())
+    sim.spawn(probe())
+    sim.run()
+    assert lengths == [2]
+
+
+def test_lock_is_single_slot():
+    sim = Simulator()
+    lock = Lock(sim)
+    assert lock.capacity == 1
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+
+def test_summary_statistics():
+    from repro.sim import Summary
+
+    summary = Summary("lat")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        summary.observe(value)
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.min == 1.0
+    assert summary.max == 4.0
+    assert summary.total == pytest.approx(10.0)
+    assert summary.stddev == pytest.approx(1.118, rel=1e-3)
+
+
+def test_time_weighted_average():
+    from repro.sim import TimeWeighted
+
+    sim = Simulator()
+    level = TimeWeighted(sim, initial=0.0)
+
+    def body():
+        level.set(2.0)
+        yield Timeout(1.0)
+        level.set(4.0)
+        yield Timeout(1.0)
+        level.set(0.0)
+        yield Timeout(2.0)
+
+    sim.spawn(body())
+    sim.run()
+    # (2*1 + 4*1 + 0*2) / 4 = 1.5
+    assert level.average() == pytest.approx(1.5)
+
+
+def test_stats_registry_snapshot():
+    from repro.sim import StatsRegistry
+
+    reg = StatsRegistry()
+    reg.counter("ops").add(3)
+    reg.summary("lat").observe(2.0)
+    snap = reg.snapshot()
+    assert snap["ops"] == 3
+    assert snap["lat.mean"] == pytest.approx(2.0)
+    assert snap["lat.count"] == 1
+    # idempotent access returns same object
+    assert reg.counter("ops").value == 3
+
+
+def test_random_streams_deterministic_and_independent():
+    from repro.sim import RandomStreams
+
+    streams_a = RandomStreams(seed=7)
+    streams_b = RandomStreams(seed=7)
+    seq_a = [streams_a.stream("disk").random() for _ in range(5)]
+    seq_b = [streams_b.stream("disk").random() for _ in range(5)]
+    assert seq_a == seq_b
+    other = [streams_a.stream("keys").random() for _ in range(5)]
+    assert other != seq_a
+
+
+def test_random_streams_order_independent():
+    from repro.sim import RandomStreams
+
+    streams_a = RandomStreams(seed=1)
+    streams_a.stream("x")
+    first = streams_a.stream("y").random()
+
+    streams_b = RandomStreams(seed=1)
+    second = streams_b.stream("y").random()
+    assert first == second
+
+
+def test_tracer_records_and_counts():
+    from repro.sim import Timeout, Tracer
+
+    tracer = Tracer(capacity=10)
+    sim = Simulator(trace=tracer)
+    tracer.attach(sim)
+
+    def body():
+        yield Timeout(1.0)
+
+    sim.spawn(body(), name="traced")
+    sim.run()
+    assert tracer.counts["spawn"] == 1
+    assert tracer.counts["exit"] == 1
+    kinds = [r.kind for r in tracer.records()]
+    assert "spawn" in kinds and "exit" in kinds
+    assert "traced" in tracer.format()
+
+
+def test_tracer_kind_filter():
+    from repro.sim import Tracer
+
+    tracer = Tracer(kinds={"spawn"})
+    sim = Simulator(trace=tracer)
+    tracer.attach(sim)
+
+    def body():
+        yield Timeout(0.1)
+
+    sim.spawn(body())
+    sim.run()
+    assert all(r.kind == "spawn" for r in tracer.records())
+    assert tracer.counts["exit"] == 1

@@ -1,0 +1,128 @@
+"""Edge-case tests: tracer ring buffer, auto-attach, summary/time-weighted
+corner cases, Ethernet backlog, and spawn validation."""
+
+import pytest
+
+from repro.machine import EthernetNetwork, Machine
+from repro.sim import Simulator, Summary, TimeWeighted, Timeout, Tracer
+
+
+def test_tracer_auto_attached_by_simulator():
+    tracer = Tracer()
+    sim = Simulator(trace=tracer)
+
+    def body():
+        yield Timeout(1.0)
+
+    sim.spawn(body(), name="auto")
+    sim.run()
+    exits = tracer.records("exit")
+    assert exits
+    assert exits[0].time == pytest.approx(1.0)  # stamped with sim clock
+
+
+def test_tracer_ring_buffer_caps_memory():
+    tracer = Tracer(capacity=5)
+    sim = Simulator(trace=tracer)
+
+    def body(n):
+        yield Timeout(0.001 * n)
+
+    for n in range(20):
+        sim.spawn(body(n))
+    sim.run()
+    assert len(tracer) == 5
+    assert tracer.counts["spawn"] == 20  # counters are not capped
+
+
+def test_tracer_clear_keeps_counts():
+    tracer = Tracer()
+    tracer.record("custom", value=1)
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.counts["custom"] == 1
+
+
+def test_tracer_format_limit():
+    tracer = Tracer()
+    for i in range(10):
+        tracer.record("evt", index=i)
+    text = tracer.format(limit=3)
+    assert text.count("evt") == 3
+    assert "index=9" in text
+
+
+def test_summary_empty():
+    summary = Summary()
+    assert summary.mean == 0.0
+    assert summary.variance == 0.0
+    assert summary.count == 0
+    assert "empty" in repr(summary)
+
+
+def test_summary_single_observation():
+    summary = Summary()
+    summary.observe(5.0)
+    assert summary.mean == 5.0
+    assert summary.stddev == 0.0
+    assert summary.min == summary.max == 5.0
+
+
+def test_time_weighted_before_any_time_passes():
+    sim = Simulator()
+    level = TimeWeighted(sim, initial=3.0)
+    assert level.average() == 0.0  # no elapsed time yet
+    assert level.current == 3.0
+
+
+def test_time_weighted_adjust():
+    sim = Simulator()
+    level = TimeWeighted(sim)
+
+    def body():
+        level.adjust(+2)
+        yield Timeout(1.0)
+        level.adjust(-1)
+        yield Timeout(1.0)
+
+    sim.spawn(body())
+    sim.run()
+    assert level.average() == pytest.approx((2 + 1) / 2)
+
+
+def test_ethernet_backlog_visible():
+    sim = Simulator()
+    network = EthernetNetwork(sim, bandwidth_bytes_per_s=100.0,
+                              frame_overhead=0.0)
+    machine = Machine(sim, 2, network=network)
+    port = machine.node(1).port("sink")
+    for _ in range(5):
+        machine.node(0).send(port, "m", size=100)
+    # nothing transmitted yet at t=0 (transmitter hasn't run)
+    assert network.backlog >= 4
+    sim.run(until=2.5)
+    assert network.backlog <= 3
+
+
+def test_process_repr_states():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(0.1)
+
+    process = sim.spawn(body(), name="repr-proc")
+    assert "running" in repr(process)
+    sim.run()
+    assert "done" in repr(process)
+
+
+def test_resource_repr_and_mailbox_repr():
+    from repro.sim import Mailbox, Resource
+
+    sim = Simulator()
+    resource = Resource(sim, capacity=2, name="arms")
+    assert "arms" in repr(resource)
+    box = Mailbox(sim, "inbox")
+    box.deliver("x")
+    assert "inbox" in repr(box)
+    assert "queued=1" in repr(box)

@@ -1,0 +1,16 @@
+"""Fixtures for tool tests."""
+
+import pytest
+
+from repro.harness.builders import BridgeSystem
+from repro.storage import FixedLatency
+
+
+def make_system(p, fast=True, seed=41, **kwargs):
+    latency = FixedLatency(0.0005) if fast else FixedLatency(0.015)
+    return BridgeSystem(p, seed=seed, disk_latency=latency, **kwargs)
+
+
+@pytest.fixture
+def system():
+    return make_system(4)

@@ -1,0 +1,146 @@
+"""Protocol-level tests for the Figure-4 token-passing merge: driving
+PairMerge directly over hand-built constituent layouts."""
+
+import pytest
+
+from repro.core import BridgeClient
+from repro.errors import SortProtocolError
+from repro.tools.sort import PairMerge, key_of, make_record
+from repro.tools.sort.merge import _expected_for_slot
+from repro.core.info import ConstituentInfo
+from tests.tools.conftest import make_system
+
+
+def build_sorted(system, name, keys, slots):
+    """A pre-sorted file on the given LFS slots (width = len(slots))."""
+    client = system.naive_client()
+
+    def body():
+        yield from client.create(name, node_slots=slots, start=0)
+        for key in keys:
+            yield from client.seq_write(name, make_record(key))
+        return (yield from client.open(name))
+
+    return system.run(body()), client
+
+
+def run_merge(system, left_keys, right_keys, left_slots, right_slots):
+    left, client = build_sorted(system, "L", sorted(left_keys), left_slots)
+    right, _ = build_sorted(system, "R", sorted(right_keys), right_slots)
+    out_slots = left_slots + right_slots
+
+    def body():
+        yield from client.create("OUT", node_slots=out_slots, start=0)
+        out = yield from client.open("OUT")
+        merge = PairMerge(system.client_node, system.config)
+        stats = yield from merge.run(
+            left.constituents, right.constituents, out.constituents,
+            left.total_blocks + right.total_blocks,
+        )
+        chunks = yield from client.read_all("OUT")
+        return stats, [key_of(c) for c in chunks]
+
+    return system.run(body())
+
+
+def test_merge_basic_two_singles():
+    system = make_system(2)
+    stats, keys = run_merge(system, [1, 3, 5], [2, 4, 6], [0], [1])
+    assert keys == [1, 2, 3, 4, 5, 6]
+    assert stats.records == 6
+    assert stats.token_hops >= 6  # at least one hop per record
+
+
+def test_merge_left_empty():
+    system = make_system(2)
+    _stats, keys = run_merge(system, [], [7, 8, 9], [0], [1])
+    assert keys == [7, 8, 9]
+
+
+def test_merge_right_empty():
+    system = make_system(2)
+    _stats, keys = run_merge(system, [4, 5], [], [0], [1])
+    assert keys == [4, 5]
+
+
+def test_merge_both_empty():
+    system = make_system(2)
+    stats, keys = run_merge(system, [], [], [0], [1])
+    assert keys == []
+    assert stats.records == 0
+
+
+def test_merge_all_left_smaller():
+    system = make_system(2)
+    _stats, keys = run_merge(system, [1, 2, 3], [10, 11], [0], [1])
+    assert keys == [1, 2, 3, 10, 11]
+
+
+def test_merge_all_duplicates():
+    system = make_system(2)
+    _stats, keys = run_merge(system, [5, 5, 5], [5, 5], [0], [1])
+    assert keys == [5] * 5
+
+
+def test_merge_interleaved_inputs_asymmetric_width():
+    """Merging a width-2 file with a width-1 file into width 3 (the bye
+    path of odd processor counts)."""
+    system = make_system(3)
+    _stats, keys = run_merge(
+        system, [1, 4, 7, 10], [2, 5], [0, 1], [2]
+    )
+    assert keys == [1, 2, 4, 5, 7, 10]
+
+
+def test_merge_wide_symmetric():
+    system = make_system(4)
+    import random
+
+    rng = random.Random(5)
+    left = sorted(rng.randrange(1000) for _ in range(11))
+    right = sorted(rng.randrange(1000) for _ in range(13))
+    _stats, keys = run_merge(system, left, right, [0, 1], [2, 3])
+    assert keys == sorted(left + right)
+
+
+def test_merge_rejects_nonzero_start_destination():
+    system = make_system(2)
+    left, client = build_sorted(system, "L", [1], [0])
+    right, _ = build_sorted(system, "R", [2], [1])
+
+    def body():
+        yield from client.create("OUT", node_slots=[0, 1], start=1)
+        out = yield from client.open("OUT")
+        merge = PairMerge(system.client_node, system.config)
+        try:
+            yield from merge.run(
+                left.constituents, right.constituents, out.constituents, 2
+            )
+        except SortProtocolError:
+            return "caught"
+
+    assert system.run(body()) == "caught"
+
+
+def test_expected_for_slot_arithmetic():
+    def constituent(slot, column):
+        return ConstituentInfo(
+            slot=slot, column=column, node_index=slot, lfs_port=None,
+            efs_file_number=0,
+        )
+
+    # 10 records over width 4: columns 0,1 get 3; columns 2,3 get 2
+    assert _expected_for_slot(constituent(0, 0), 4, 10) == 3
+    assert _expected_for_slot(constituent(1, 1), 4, 10) == 3
+    assert _expected_for_slot(constituent(2, 2), 4, 10) == 2
+    assert _expected_for_slot(constituent(3, 3), 4, 10) == 2
+
+
+def test_token_hops_bounded():
+    """'The token is never passed twice in a row without writing':
+    hops are bounded by ~2 per record plus startup/termination."""
+    system = make_system(2)
+    stats, _keys = run_merge(
+        system, list(range(0, 40, 2)), list(range(1, 40, 2)), [0], [1]
+    )
+    assert stats.token_hops <= 2 * stats.records + 4

@@ -1,0 +1,113 @@
+"""Tests for access-pattern traces and their replay costs."""
+
+import pytest
+
+from repro.harness.builders import BridgeSystem
+from repro.workloads import build_file, pattern_chunks
+from repro.workloads.traces import (
+    random_trace,
+    replay_trace,
+    sequential_trace,
+    strided_trace,
+    zipf_trace,
+)
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+def test_sequential_trace():
+    assert sequential_trace(4) == [0, 1, 2, 3]
+    assert sequential_trace(2, repeats=2) == [0, 1, 0, 1]
+    assert sequential_trace(0) == []
+    with pytest.raises(ValueError):
+        sequential_trace(-1)
+
+
+def test_strided_trace_permutation():
+    trace = strided_trace(8, 3)  # gcd(3, 8) = 1
+    assert sorted(trace) == list(range(8))
+    assert trace == [0, 3, 6, 1, 4, 7, 2, 5]
+    with pytest.raises(ValueError):
+        strided_trace(8, 0)
+    assert strided_trace(0, 3) == []
+
+
+def test_random_trace_bounds_and_determinism():
+    trace = random_trace(16, 100, seed=5)
+    assert len(trace) == 100
+    assert all(0 <= b < 16 for b in trace)
+    assert trace == random_trace(16, 100, seed=5)
+    assert trace != random_trace(16, 100, seed=6)
+
+
+def test_zipf_trace_skews_to_head():
+    trace = zipf_trace(64, 2000, skew=1.5, seed=7)
+    assert all(0 <= b < 64 for b in trace)
+    head = sum(1 for b in trace if b < 8)
+    tail = sum(1 for b in trace if b >= 32)
+    assert head > tail * 2  # hot head dominates
+    with pytest.raises(ValueError):
+        zipf_trace(8, 10, skew=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Replay costs
+# ---------------------------------------------------------------------------
+
+
+def make_loaded_system(blocks=64, p=4):
+    system = BridgeSystem(p, seed=141)  # real 15 ms disks
+    build_file(system, "traced", pattern_chunks(blocks))
+    for efs in system.efs_servers:
+        system.run(efs.cache.flush(), name="flush")
+        efs.cache.invalidate_all()
+    return system
+
+
+def test_replay_counts_accesses():
+    system = make_loaded_system(blocks=16)
+    result = system.run(
+        replay_trace(system, "traced", sequential_trace(16), "seq")
+    )
+    assert result.accesses == 16
+    assert result.pattern == "seq"
+    assert result.ms_per_access > 0
+
+
+def test_sequential_cheaper_than_random():
+    """The paper's bet: linked-list files reward sequential access and
+    punish random access (Table 2's read vs the 'very slow random
+    access' of section 3)."""
+    blocks = 64
+    system = make_loaded_system(blocks=blocks)
+    seq = system.run(
+        replay_trace(system, "traced", sequential_trace(blocks), "seq")
+    )
+    system2 = make_loaded_system(blocks=blocks)
+    rand = system2.run(
+        replay_trace(
+            system2, "traced", random_trace(blocks, blocks, seed=3), "rand"
+        )
+    )
+    assert rand.ms_per_access > seq.ms_per_access * 1.5
+
+
+def test_zipf_cheaper_than_uniform_random_due_to_cache():
+    """Hotspot traces re-touch cached blocks; uniform random does not."""
+    blocks = 96
+    system = make_loaded_system(blocks=blocks)
+    hot = system.run(
+        replay_trace(
+            system, "traced", zipf_trace(blocks, 128, skew=1.5, seed=9), "zipf"
+        )
+    )
+    system2 = make_loaded_system(blocks=blocks)
+    uniform = system2.run(
+        replay_trace(
+            system2, "traced", random_trace(blocks, 128, seed=9), "uniform"
+        )
+    )
+    assert hot.ms_per_access < uniform.ms_per_access
