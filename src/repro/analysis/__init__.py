@@ -25,7 +25,11 @@ from repro.analysis.models import (
     table2_read_ms,
     table2_write_ms,
 )
-from repro.analysis.report import build_report
+from repro.analysis.report import (
+    build_report,
+    cache_section,
+    redundancy_section,
+)
 from repro.analysis.tables import format_markdown_table, format_series, format_table
 
 __all__ = [
@@ -37,12 +41,14 @@ __all__ = [
     "PAPER_TABLE4_SORT_MINUTES",
     "ScalingPoint",
     "build_report",
+    "cache_section",
     "crossover_point",
     "efficiency",
     "fit_line",
     "format_markdown_table",
     "format_series",
     "format_table",
+    "redundancy_section",
     "is_superlinear",
     "scaling_table",
     "shape_ratio",

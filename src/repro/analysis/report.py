@@ -95,6 +95,57 @@ def table4_section(ps: Sequence[int], records: Optional[int] = None) -> str:
     )
 
 
+def cache_section(system) -> str:
+    """Per-LFS :class:`~repro.efs.cache.BlockCache` counters for a live
+    system: hits, misses, hit rate, evictions, and dirty writebacks."""
+    rows = []
+    for slot, efs in enumerate(system.efs_servers):
+        cache = efs.cache
+        lookups = cache.hits + cache.misses
+        rows.append(
+            [slot, cache.hits, cache.misses,
+             (cache.hits / lookups) if lookups else 0.0,
+             cache.evictions, cache.writebacks]
+        )
+    totals = [sum(r[i] for r in rows) for i in (1, 2, 4, 5)]
+    lookups = totals[0] + totals[1]
+    rows.append(
+        ["all", totals[0], totals[1],
+         (totals[0] / lookups) if lookups else 0.0, totals[2], totals[3]]
+    )
+    body = format_markdown_table(
+        ["LFS", "hits", "misses", "hit rate", "evictions", "writebacks"],
+        rows,
+    )
+    return f"## Block cache\n\n{body}\n"
+
+
+def redundancy_section(p: int = 4, blocks: Optional[int] = None) -> str:
+    """None/mirror/parity through the fail -> rebuild lifecycle (S16),
+    with the cache traffic each scheme generated."""
+    from repro.harness.experiments import run_redundancy_experiment
+    from repro.redundancy import SCHEMES
+
+    # mirroring needs >= 2 slots, rotating parity >= 3
+    schemes = [s for s in SCHEMES
+               if (s == "none") or (s == "mirror" and p >= 2) or p >= 3]
+    runs = [run_redundancy_experiment(s, p=p, blocks=blocks) for s in schemes]
+    rows = [
+        [r.scheme, r.storage_factor, r.write_ops_per_block,
+         "survived" if r.survived else "LOST",
+         "-" if r.rebuild_seconds is None else r.rebuild_seconds,
+         "clean" if r.fsck_clean else "DIRTY",
+         r.cache_hits, r.cache_misses, r.cache_evictions, r.cache_writebacks]
+        for r in runs
+    ]
+    body = format_markdown_table(
+        ["scheme", "storage", "dev writes/blk", "one failure", "rebuild s",
+         "fsck", "cache hits", "misses", "evictions", "writebacks"],
+        rows,
+    )
+    return f"## Redundancy schemes (p={p})\n\n{body}\n"
+
+
 def build_report(ps: Sequence[int] = (2, 4, 8),
                  blocks: Optional[int] = None,
                  records: Optional[int] = None,
@@ -107,5 +158,6 @@ def build_report(ps: Sequence[int] = (2, 4, 8),
         table2_section(ps),
         table3_section(ps, blocks=blocks),
         table4_section(ps, records=records),
+        redundancy_section(p=max(ps)),
     ]
     return "\n".join(sections)

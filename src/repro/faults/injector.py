@@ -12,28 +12,68 @@ replication remedy the paper prices at 2x storage.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import List
 
 from repro.harness.builders import BridgeSystem
 
 
 class FaultInjector:
-    """Fail and repair disks in a :class:`BridgeSystem`."""
+    """Fail and repair disks in a :class:`BridgeSystem`.
+
+    Listeners (objects with ``on_fail(slot)`` / ``on_repair(slot)``) are
+    notified of every transition; the system's redundancy manager — which
+    tracks degraded slots and auto-starts online parity rebuilds — is
+    registered automatically.
+    """
 
     def __init__(self, system: BridgeSystem) -> None:
         self.system = system
         self.failed_slots: List[int] = []
+        self.listeners: List[object] = []
+        manager = getattr(system, "redundancy", None)
+        if manager is not None:
+            self.listeners.append(manager)
+
+    def add_listener(self, listener: object) -> None:
+        """Subscribe to fail/repair notifications."""
+        if listener not in self.listeners:
+            self.listeners.append(listener)
 
     def fail_slot(self, slot: int) -> None:
         """Fail the disk behind LFS ``slot``."""
         self.system.disks[slot].fail()
         if slot not in self.failed_slots:
             self.failed_slots.append(slot)
+        for listener in self.listeners:
+            listener.on_fail(slot)
 
     def repair_slot(self, slot: int) -> None:
         self.system.disks[slot].repair()
         if slot in self.failed_slots:
             self.failed_slots.remove(slot)
+        for listener in self.listeners:
+            listener.on_repair(slot)
+
+    def repair_all(self) -> List[int]:
+        """Repair every currently failed slot; returns the slots fixed."""
+        repaired = list(self.failed_slots)
+        for slot in repaired:
+            self.repair_slot(slot)
+        return repaired
+
+    @contextmanager
+    def failed(self, slot: int):
+        """Context manager: fail ``slot`` on entry, repair it on exit.
+
+        The repair fires listener notifications like any other, so under
+        a parity scheme leaving the block auto-starts the rebuild sweep.
+        """
+        self.fail_slot(slot)
+        try:
+            yield self
+        finally:
+            self.repair_slot(slot)
 
     def fail_random(self, rng_stream: str = "faults") -> int:
         """Fail one uniformly random healthy slot; returns its index."""

@@ -37,6 +37,8 @@ class BridgeSystem:
         network=None,
         with_relays: bool = True,
         bridge_server_count: int = 1,
+        redundancy: str = "none",
+        rebuild_rate=None,
     ) -> None:
         if lfs_count < 1:
             raise ValueError("a Bridge system needs at least one LFS node")
@@ -92,6 +94,16 @@ class BridgeSystem:
         ]
         self.bridge = self.bridges[0]
 
+        # Redundancy scheme knob (S16): every experiment can run the same
+        # workload unprotected, mirrored (2x), or parity-protected
+        # (p/(p-1)x).  The manager also receives the fault injector's
+        # fail/repair notifications and auto-starts online rebuilds.
+        from repro.redundancy.manager import RedundancyManager
+
+        self.redundancy = RedundancyManager(
+            self, redundancy, rebuild_rate=rebuild_rate
+        )
+
     # ------------------------------------------------------------------
 
     @property
@@ -110,6 +122,13 @@ class BridgeSystem:
 
         bridge = PartitionedBridge(self.bridges)
         return PartitionedClient(node or self.client_node, bridge)
+
+    def redundant_file(self, name: str):
+        """A file wrapper under this system's redundancy scheme: a
+        :class:`~repro.redundancy.manager.PlainFile`,
+        :class:`~repro.faults.mirror.MirroredFile`, or
+        :class:`~repro.redundancy.parity.ParityFile`."""
+        return self.redundancy.file(name)
 
     def efs_client(self, slot: int, node=None) -> EFSClient:
         """A direct EFS client for LFS ``slot`` (tool-style access)."""

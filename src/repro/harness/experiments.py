@@ -25,6 +25,7 @@ from repro.harness.results import (
     CopyRun,
     CreateTreeRun,
     FaultsRun,
+    RedundancyRun,
     SortRun,
     StripingRun,
     Table2Measurement,
@@ -356,6 +357,111 @@ def run_create_tree_experiment(p: int, seed: int = 0) -> CreateTreeRun:
 # ---------------------------------------------------------------------------
 # E13: fault tolerance
 # ---------------------------------------------------------------------------
+
+
+def run_redundancy_experiment(scheme: str, p: int = 4, blocks: Optional[int] = None,
+                              seed: int = 0, victim: int = 1,
+                              rebuild_rate: Optional[float] = None) -> RedundancyRun:
+    """One redundancy scheme through the full S16 lifecycle.
+
+    Write a file under ``scheme`` (``"none"``, ``"mirror"``, or
+    ``"parity"``), measure its storage and device write traffic, read it
+    healthy, fail one slot and read it degraded (content-verified against
+    the healthy read), then repair and — for parity — run the online
+    rebuild sweep and fsck every LFS image.
+    """
+    from repro.efs.fsck import check_system
+    from repro.errors import DeviceFailedError, ProcessError
+
+    blocks = blocks if blocks is not None else 4 * p
+    system = paper_system(p, seed=seed, redundancy=scheme,
+                          rebuild_rate=rebuild_rate)
+    rfile = system.redundant_file("protected")
+    chunks = pattern_chunks(blocks)
+    writes_before = sum(d.writes for d in system.disks)
+
+    def setup():
+        yield from rfile.create()
+        yield from rfile.write_all(chunks)
+        return (yield from rfile.storage_blocks())
+
+    storage = system.run(setup(), name="redundancy-setup")
+    write_ops = sum(d.writes for d in system.disks) - writes_before
+
+    def timed_read():
+        start = system.sim.now
+        read_chunks, stats = yield from rfile.read_all()
+        return read_chunks, stats, system.sim.now - start
+
+    healthy, _stats, healthy_elapsed = system.run(
+        timed_read(), name="healthy-read"
+    )
+
+    for efs in system.efs_servers:
+        system.run(efs.cache.flush(), name="flush")
+        efs.cache.invalidate_all()
+    injector = FaultInjector(system)
+    victim = victim % p
+    injector.fail_slot(victim)
+
+    reconstruct_before = (
+        rfile.read_stats.degraded if scheme == "parity" else 0
+    )
+    survived = True
+    content_ok = False
+    degraded_elapsed: Optional[float] = None
+    reconstructions = 0
+    try:
+        degraded, dstats, degraded_elapsed = system.run(
+            timed_read(), name="degraded-read"
+        )
+    except ProcessError as err:
+        if not isinstance(err.__cause__, DeviceFailedError):
+            raise
+        survived = False
+    else:
+        content_ok = degraded == healthy
+        if scheme == "parity":
+            reconstructions = dstats.degraded - reconstruct_before
+        elif scheme == "mirror":
+            reconstructions = dstats.fallbacks
+
+    # Repair; under parity the manager auto-spawns the online rebuild.
+    repair_at = system.sim.now
+    injector.repair_slot(victim)
+    rebuild_seconds: Optional[float] = None
+    rebuild_blocks = 0
+    if scheme == "parity":
+        system.sim.run()  # drain the rebuild sweep
+        rebuild = system.redundancy.rebuilds[-1]
+        rebuild_seconds = system.sim.now - repair_at
+        rebuild_blocks = rebuild.progress.blocks_written
+
+    final, _stats, _elapsed = system.run(timed_read(), name="final-read")
+    content_ok = content_ok and final == healthy if survived else final == healthy
+    fsck_clean = all(report.clean for report in check_system(system))
+
+    return RedundancyRun(
+        scheme=scheme,
+        p=p,
+        blocks=blocks,
+        storage_blocks=storage,
+        write_device_ops=write_ops,
+        healthy_read_s_per_block=healthy_elapsed / blocks,
+        degraded_read_s_per_block=(
+            degraded_elapsed / blocks if survived else None
+        ),
+        degraded_reconstructions=reconstructions,
+        survived=survived,
+        content_ok=content_ok,
+        rebuild_seconds=rebuild_seconds,
+        rebuild_blocks=rebuild_blocks,
+        fsck_clean=fsck_clean,
+        cache_hits=sum(e.cache.hits for e in system.efs_servers),
+        cache_misses=sum(e.cache.misses for e in system.efs_servers),
+        cache_evictions=sum(e.cache.evictions for e in system.efs_servers),
+        cache_writebacks=sum(e.cache.writebacks for e in system.efs_servers),
+    )
 
 
 def run_faults_experiment(p: int = 4, blocks: int = 16, seed: int = 0) -> FaultsRun:

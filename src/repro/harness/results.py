@@ -118,3 +118,43 @@ class FaultsRun:
     mirror_fallbacks: int
     mirror_storage_blocks: int
     plain_storage_blocks: int
+
+
+@dataclass
+class RedundancyRun:
+    """One redundancy scheme (none/mirror/parity) through the full
+    fail -> degraded -> repair -> rebuild lifecycle (S16)."""
+
+    scheme: str
+    p: int
+    blocks: int
+    storage_blocks: int
+    write_device_ops: int  # device writes issued while writing the file
+    healthy_read_s_per_block: float
+    degraded_read_s_per_block: Optional[float]  # None: file lost
+    degraded_reconstructions: int
+    survived: bool  # single failure survived
+    content_ok: bool  # degraded reads byte-identical to healthy ones
+    rebuild_seconds: Optional[float]  # None: no rebuild needed/possible
+    rebuild_blocks: int
+    fsck_clean: bool
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_writebacks: int = 0
+
+    @property
+    def storage_factor(self) -> float:
+        return self.storage_blocks / self.blocks if self.blocks else 0.0
+
+    @property
+    def write_ops_per_block(self) -> float:
+        return self.write_device_ops / self.blocks if self.blocks else 0.0
+
+    @property
+    def degraded_slowdown(self) -> Optional[float]:
+        if self.degraded_read_s_per_block is None:
+            return None
+        if self.healthy_read_s_per_block <= 0:
+            return None
+        return self.degraded_read_s_per_block / self.healthy_read_s_per_block

@@ -1,0 +1,156 @@
+"""Degraded-mode reads: transparent XOR reconstruction (S16).
+
+When a :class:`~repro.redundancy.parity.ParityFile` read hits a failed
+device (:class:`~repro.errors.DeviceFailedError`, or the device flag the
+fault injector flips), the reader fans out *parallel* reads of the
+stripe's surviving peers — the same one-shot-reply-port fan-out that
+powers the Bridge Server's parallel-open view (see
+:func:`repro.machine.rpc.gather` and :mod:`repro.core.parallel`) — and
+XOR-reconstructs the missing block:
+
+    data = parity XOR (every other data block of the stripe)
+
+because the parity block is the XOR of all data blocks.  The fan-out
+here must tolerate *per-peer* misses (a surviving constituent may simply
+be shorter than the stripe index when the tail stripe is partial), so it
+collects raw responses instead of failing on the first error the way
+``gather`` does.
+
+Every reconstruction is counted in the file's per-file
+:class:`DegradedReadStats`; a second dead device inside the same stripe
+is a double failure and raises :class:`DeviceFailedError` — exactly the
+RAID-5 contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import (
+    DeviceFailedError,
+    EFSBlockNotFoundError,
+)
+from repro.machine.rpc import Request
+
+
+@dataclass
+class DegradedReadStats:
+    """Per-file accounting of the degraded read path."""
+
+    blocks: int = 0  # logical blocks served
+    degraded: int = 0  # blocks served by XOR reconstruction
+    peer_reads: int = 0  # surviving-constituent reads issued for those
+    errors_detected: int = 0  # DeviceFailedErrors caught in the fast path
+
+    @property
+    def degraded_fraction(self) -> float:
+        return self.degraded / self.blocks if self.blocks else 0.0
+
+
+def fanout_reads(node, calls):
+    """Issue reads in parallel, tolerating per-call application errors.
+
+    ``calls`` is the same ``(port, method, args, size)`` shape as
+    :func:`repro.machine.rpc.gather`, but the result is a list of
+    ``(value, error)`` pairs instead of raising on the first error — a
+    reconstruction must distinguish "this peer is short" (treat the block
+    as zeros) from "this peer's device is dead too" (double failure).
+    """
+    reply_ports = []
+    for port, method, args, size in calls:
+        reply_port = node.port()
+        node.send(port, Request(method, args, reply_port, size), size=size)
+        reply_ports.append(reply_port)
+    outcomes: List[Tuple[object, Optional[Exception]]] = []
+    for reply_port in reply_ports:
+        response = yield reply_port.recv()
+        outcomes.append((response.value, response.error))
+    return outcomes
+
+
+class DegradedReader:
+    """The read path of one parity file, failure-aware.
+
+    Healthy blocks are read straight from their home constituent; a block
+    whose device is down (or whose constituent is missing the block — a
+    write hole awaiting rebuild) is reconstructed from the stripe's
+    surviving peers.  Shares the file's stripe lock so reconstruction
+    never observes a half-updated stripe.
+    """
+
+    def __init__(self, parity_file, stats: Optional[DegradedReadStats] = None) -> None:
+        self.file = parity_file
+        # Default to the file's own per-file stats; the rebuild sweep
+        # passes a private object so reconstruction-for-rebuild does not
+        # inflate the file's degraded-*read* accounting.
+        self.stats: DegradedReadStats = (
+            stats if stats is not None else parity_file.read_stats
+        )
+
+    # ------------------------------------------------------------------
+
+    def read_block(self, logical: int):
+        """Read one logical block, degrading transparently."""
+        file = self.file
+        if not 0 <= logical < file.logical_blocks:
+            raise ValueError(
+                f"{file.name!r}: logical block {logical} outside file of "
+                f"{file.logical_blocks} blocks"
+            )
+        stripe, slot = file.geometry.locate(logical)
+        self.stats.blocks += 1
+        if not file.slot_failed(slot):
+            try:
+                return (yield from file.read_local(slot, stripe))
+            except DeviceFailedError:
+                self.stats.errors_detected += 1
+            except EFSBlockNotFoundError:
+                pass  # write hole on a repaired slot: reconstruct below
+        return (yield from self.reconstruct(stripe, slot))
+
+    # ------------------------------------------------------------------
+
+    def reconstruct(self, stripe: int, missing_slot: int, locked: bool = False):
+        """XOR the stripe's surviving blocks to recover ``missing_slot``.
+
+        Works for data *and* parity slots (parity is just the XOR of the
+        rest).  Holds the file's stripe lock for the duration so a
+        concurrent writer cannot leave the stripe half-updated under us;
+        pass ``locked=True`` when the caller (the rebuild sweep) already
+        holds it.
+        """
+        file = self.file
+        if not locked:
+            yield self.file._lock.acquire()
+        try:
+            peers = [s for s in range(file.geometry.width) if s != missing_slot]
+            calls = [
+                (file._port(peer), "read",
+                 {"file_number": file.file_id, "block_number": stripe,
+                  "hint": None}, 0)
+                for peer in peers
+            ]
+            outcomes = yield from fanout_reads(file.node, calls)
+            parts = []
+            for peer, (value, error) in zip(peers, outcomes):
+                self.stats.peer_reads += 1
+                if error is None:
+                    parts.append(value.data)
+                elif isinstance(error, EFSBlockNotFoundError):
+                    parts.append(None)  # short constituent: zero block
+                elif isinstance(error, DeviceFailedError):
+                    raise DeviceFailedError(
+                        f"{file.name!r} stripe {stripe}: slots "
+                        f"{missing_slot} and {peer} both unavailable "
+                        "(double failure, data lost)"
+                    )
+                else:
+                    raise error
+            self.stats.degraded += 1
+            from repro.redundancy.parity import xor_blocks
+
+            return xor_blocks(*parts)
+        finally:
+            if not locked:
+                self.file._lock.release()

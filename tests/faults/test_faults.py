@@ -53,8 +53,9 @@ def test_repair_restores_access():
     for efs in system.efs_servers:
         system.run(efs.cache.flush(), name="flush")
         efs.cache.invalidate_all()
-    injector.fail_slot(1)
-    injector.repair_slot(1)
+    with injector.failed(1):
+        assert system.disks[1].failed
+    assert not system.disks[1].failed
     client = system.naive_client()
 
     def body():
@@ -62,6 +63,50 @@ def test_repair_restores_access():
 
     chunks = system.run(body())
     assert len(chunks) == 8
+
+
+def test_repair_all_fixes_every_failed_slot():
+    system = make_system()
+    injector = FaultInjector(system)
+    injector.fail_slot(0)
+    injector.fail_slot(2)
+    assert injector.repair_all() == [0, 2]
+    assert injector.failed_slots == []
+    assert not any(disk.failed for disk in system.disks)
+
+
+def test_failed_context_manager_repairs_on_error():
+    system = make_system()
+    injector = FaultInjector(system)
+    with pytest.raises(RuntimeError):
+        with injector.failed(3):
+            raise RuntimeError("workload blew up")
+    assert injector.failed_slots == []
+    assert not system.disks[3].failed
+
+
+def test_injector_notifies_listeners():
+    class Recorder:
+        def __init__(self):
+            self.events = []
+
+        def on_fail(self, slot):
+            self.events.append(("fail", slot))
+
+        def on_repair(self, slot):
+            self.events.append(("repair", slot))
+
+    system = make_system()
+    injector = FaultInjector(system)
+    recorder = Recorder()
+    injector.add_listener(recorder)
+    with injector.failed(2):
+        pass
+    assert recorder.events == [("fail", 2), ("repair", 2)]
+    # the system's redundancy manager is auto-subscribed
+    assert system.redundancy.fail_events == 1
+    assert system.redundancy.repair_events == 1
+    assert not system.redundancy.degraded()
 
 
 def test_fail_random_eventually_fails_everything():
@@ -113,12 +158,12 @@ def test_mirrored_file_survives_one_disk_failure():
     for efs in system.efs_servers:
         system.run(efs.cache.flush(), name="flush")
         efs.cache.invalidate_all()
-    FaultInjector(system).fail_slot(1)
 
     def read():
         return (yield from mirrored.read_all())
 
-    recovered, stats = system.run(read())
+    with FaultInjector(system).failed(1):
+        recovered, stats = system.run(read())
     assert len(recovered) == 8
     for original, copy in zip(chunks, recovered):
         assert copy.startswith(original)

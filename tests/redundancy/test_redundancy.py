@@ -1,0 +1,396 @@
+"""Tests for the rotating-parity redundancy subsystem (S16)."""
+
+import pytest
+
+from repro.efs.layout import DATA_BYTES_PER_BLOCK
+from repro.errors import DeviceFailedError, ProcessError
+from repro.faults import FaultInjector
+from repro.harness.builders import BridgeSystem
+from repro.redundancy import (
+    OnlineRebuild,
+    ParityFile,
+    ParityGeometry,
+    files_lost_fraction_parity,
+    parity_storage_factor,
+    xor_blocks,
+)
+from repro.sim import Timeout
+from repro.storage import FixedLatency
+from repro.workloads import pattern_chunks
+
+
+def make_system(p=4, seed=20, **kwargs):
+    return BridgeSystem(p, seed=seed, disk_latency=FixedLatency(0.0005),
+                        **kwargs)
+
+
+def drop_caches(system):
+    for efs in system.efs_servers:
+        system.run(efs.cache.flush(), name="flush")
+        efs.cache.invalidate_all()
+
+
+def build_parity_file(system, name, chunks):
+    pfile = ParityFile(system, name)
+
+    def setup():
+        yield from pfile.create()
+        yield from pfile.write_all(chunks)
+
+    system.run(setup(), name="parity-setup")
+    return pfile
+
+
+def read_all(system, pfile):
+    def body():
+        return (yield from pfile.read_all())
+
+    return system.run(body(), name="read-all")
+
+
+def matches(read_back, originals):
+    return len(read_back) == len(originals) and all(
+        got.startswith(want) for got, want in zip(read_back, originals)
+    )
+
+
+# ---------------------------------------------------------------------------
+# XOR and geometry
+# ---------------------------------------------------------------------------
+
+
+def test_xor_blocks_is_self_inverse():
+    a, b = b"hello world", b"parity"
+    p = xor_blocks(a, b)
+    # XORing the parity with one part recovers the other (zero-padded)
+    assert xor_blocks(p, b).startswith(a)
+    assert xor_blocks(p, a).startswith(b)
+
+
+def test_xor_blocks_pads_and_treats_none_as_zeros():
+    assert xor_blocks(b"\x01", b"\x01\x02") == b"\x00\x02"
+    assert xor_blocks(None, b"\x07") == b"\x07"
+    assert xor_blocks() == b""
+    assert xor_blocks(b"ab", b"ab") == b"\x00\x00"
+
+
+def test_geometry_requires_width_three():
+    with pytest.raises(ValueError):
+        ParityGeometry(2)
+    ParityGeometry(3)  # minimum viable
+
+
+def test_parity_slot_rotates_round_robin():
+    geo = ParityGeometry(4)
+    assert [geo.parity_slot(s) for s in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_locate_logical_of_round_trip():
+    geo = ParityGeometry(5)
+    for logical in range(37):
+        stripe, slot = geo.locate(logical)
+        assert slot != geo.parity_slot(stripe)
+        assert geo.logical_of(stripe, slot) == logical
+    # the parity slot holds no logical block
+    for stripe in range(6):
+        assert geo.logical_of(stripe, geo.parity_slot(stripe)) is None
+
+
+def test_data_slots_exclude_the_parity_slot():
+    geo = ParityGeometry(4)
+    for stripe in range(8):
+        slots = geo.data_slots(stripe)
+        assert len(slots) == 3
+        assert geo.parity_slot(stripe) not in slots
+
+
+def test_physical_blocks_count_full_stripe_capacity():
+    geo = ParityGeometry(4)
+    assert geo.data_per_stripe == 3
+    assert geo.stripes_for(0) == 0
+    assert geo.stripes_for(3) == 1
+    assert geo.stripes_for(4) == 2
+    assert geo.physical_blocks(9) == 3 * 4
+    assert geo.physical_blocks(10) == 4 * 4  # partial tail stripe reserved
+
+
+def test_storage_factor_is_p_over_p_minus_one():
+    assert parity_storage_factor(4) == pytest.approx(4 / 3)
+    assert parity_storage_factor(8) == pytest.approx(8 / 7)
+    assert ParityGeometry(3).storage_factor() == pytest.approx(1.5)
+
+
+def test_files_lost_fraction_parity():
+    assert files_lost_fraction_parity(8, 0) == 0.0
+    assert files_lost_fraction_parity(8, 1) == 0.0  # single failure: safe
+    assert files_lost_fraction_parity(8, 2) == 1.0  # double failure: fatal
+
+
+# ---------------------------------------------------------------------------
+# Healthy path
+# ---------------------------------------------------------------------------
+
+
+def test_healthy_write_read_round_trip():
+    system = make_system()
+    chunks = pattern_chunks(10)
+    pfile = build_parity_file(system, "plain-sailing", chunks)
+    read_back, stats = read_all(system, pfile)
+    assert matches(read_back, chunks)
+    assert stats.degraded == 0
+    assert stats.errors_detected == 0
+
+
+def test_storage_blocks_include_rotating_parity():
+    system = make_system()
+    pfile = build_parity_file(system, "priced", pattern_chunks(10))
+
+    def body():
+        return (yield from pfile.storage_blocks())
+
+    # on disk: the 10 data blocks plus one parity block per stripe
+    assert system.run(body()) == 10 + pfile.geometry.stripes_for(10)
+
+
+def test_overwrite_updates_parity_via_read_modify_write():
+    system = make_system()
+    chunks = pattern_chunks(6)
+    pfile = build_parity_file(system, "rmw", chunks)
+    before = pfile.parity_rmw_reads
+    replacement = b"REWRITTEN" * 10
+
+    def overwrite():
+        yield from pfile.write_block(2, replacement)
+
+    system.run(overwrite())
+    # old data + old parity were both read back for the delta update
+    assert pfile.parity_rmw_reads >= before + 2
+    # ... and the new value reconstructs correctly with its slot dead
+    drop_caches(system)
+    _stripe, slot = pfile.geometry.locate(2)
+    with FaultInjector(system).failed(slot):
+        read_back, _stats = read_all(system, pfile)
+    assert read_back[2].startswith(replacement)
+
+
+def test_write_block_validates_arguments():
+    system = make_system()
+    pfile = build_parity_file(system, "strict", pattern_chunks(3))
+
+    def past_end():
+        yield from pfile.write_block(5, b"sparse?")
+
+    with pytest.raises(ProcessError) as info:
+        system.run(past_end())
+    assert isinstance(info.value.__cause__, ValueError)
+
+    def oversize():
+        yield from pfile.write_block(0, b"x" * (DATA_BYTES_PER_BLOCK + 1))
+
+    with pytest.raises(ProcessError) as info:
+        system.run(oversize())
+    assert isinstance(info.value.__cause__, ValueError)
+
+
+# ---------------------------------------------------------------------------
+# Degraded reads
+# ---------------------------------------------------------------------------
+
+
+def test_degraded_read_reconstructs_exact_content():
+    system = make_system()
+    chunks = pattern_chunks(8)
+    pfile = build_parity_file(system, "survivor", chunks)
+    healthy, _stats = read_all(system, pfile)
+    drop_caches(system)
+    with FaultInjector(system).failed(1):
+        degraded, stats = read_all(system, pfile)
+    assert degraded == healthy  # byte-identical, padding included
+    assert matches(degraded, chunks)
+    # 8 blocks at p=4: slot 1 held logical 0 and 7
+    assert stats.degraded == 2
+    assert stats.peer_reads == 2 * 3
+    assert 0 < stats.degraded_fraction < 1
+
+
+def test_degraded_read_detects_midstream_device_errors(monkeypatch):
+    """Even if the failure check is stale, the DeviceFailedError raised by
+    the read itself routes the block to reconstruction."""
+    system = make_system()
+    chunks = pattern_chunks(8)
+    pfile = build_parity_file(system, "stale-view", chunks)
+    drop_caches(system)
+    monkeypatch.setattr(pfile, "slot_failed", lambda slot: False)
+    with FaultInjector(system).failed(1):
+        read_back, stats = read_all(system, pfile)
+    assert matches(read_back, chunks)
+    assert stats.errors_detected == 2
+    assert stats.degraded == 2
+
+
+def test_double_failure_is_fatal():
+    system = make_system()
+    pfile = build_parity_file(system, "doomed", pattern_chunks(8))
+    drop_caches(system)
+    injector = FaultInjector(system)
+    injector.fail_slot(1)
+    injector.fail_slot(2)
+
+    def read():
+        return (yield from pfile.read_all())
+
+    with pytest.raises(ProcessError) as info:
+        system.run(read())
+    assert isinstance(info.value.__cause__, DeviceFailedError)
+
+
+# ---------------------------------------------------------------------------
+# Degraded writes
+# ---------------------------------------------------------------------------
+
+
+def test_degraded_write_folds_new_value_into_parity():
+    system = make_system()
+    chunks = pattern_chunks(8)
+    pfile = build_parity_file(system, "write-through-fire", chunks)
+    drop_caches(system)
+    _stripe, slot = pfile.geometry.locate(0)
+    replacement = b"WRITTEN WHILE DOWN"
+    injector = FaultInjector(system)
+    injector.fail_slot(slot)
+
+    def update():
+        yield from pfile.write_block(0, replacement)
+
+    system.run(update())
+    assert pfile.degraded_writes == 1
+    # the degraded read sees the *new* value (reconstructed from parity)
+    read_back, _stats = read_all(system, pfile)
+    assert read_back[0].startswith(replacement)
+    injector.repair_slot(slot)
+
+
+def test_degraded_append_grows_the_file():
+    system = make_system()
+    chunks = pattern_chunks(6)
+    pfile = build_parity_file(system, "still-growing", chunks)
+    drop_caches(system)
+    extra = pattern_chunks(3, stamp=b"NEW")
+    with FaultInjector(system).failed(2):
+
+        def append():
+            yield from pfile.write_all(extra)
+
+        system.run(append())
+        assert pfile.logical_blocks == 9
+        read_back, _stats = read_all(system, pfile)
+    assert matches(read_back, chunks + extra)
+
+
+def test_degraded_write_with_parity_slot_down_is_double_failure():
+    system = make_system()
+    pfile = build_parity_file(system, "no-room", pattern_chunks(8))
+    drop_caches(system)
+    stripe, slot = pfile.geometry.locate(0)
+    injector = FaultInjector(system)
+    injector.fail_slot(slot)
+    injector.fail_slot(pfile.geometry.parity_slot(stripe))
+
+    def update():
+        yield from pfile.write_block(0, b"nowhere to put this")
+
+    with pytest.raises(ProcessError) as info:
+        system.run(update())
+    assert isinstance(info.value.__cause__, DeviceFailedError)
+
+
+# ---------------------------------------------------------------------------
+# Online rebuild
+# ---------------------------------------------------------------------------
+
+
+def run_rebuild(system, pfile, slot, rate=None):
+    rebuild = OnlineRebuild(pfile, slot, rate=rate)
+
+    def body():
+        return (yield from rebuild.run())
+
+    return system.run(body(), name="rebuild"), rebuild
+
+
+def test_rebuild_restores_constituent_and_content():
+    system = make_system()
+    chunks = pattern_chunks(11)  # partial tail stripe on purpose
+    pfile = build_parity_file(system, "phoenix", chunks)
+    drop_caches(system)
+    injector = FaultInjector(system)
+    injector.fail_slot(2)
+
+    def update():
+        # logical 1 lives on slot 2 of stripe 0: a degraded overwrite,
+        # leaving slot 2's on-disk copy stale until the sweep fixes it
+        yield from pfile.write_block(1, b"rebuilt value")
+
+    system.run(update())
+    injector.repair_slot(2)
+    stats, rebuild = run_rebuild(system, pfile, 2)
+    assert rebuild.progress.done
+    assert rebuild.progress.fraction == 1.0
+    assert stats.blocks_written > 0
+    # after the sweep, direct reads (no reconstruction) see fresh data
+    drop_caches(system)
+    read_back, rstats = read_all(system, pfile)
+    assert read_back[1].startswith(b"rebuilt value")
+    assert rstats.degraded == 0
+    for got, want in zip(read_back[2:], chunks[2:]):
+        assert got.startswith(want)
+
+
+def test_rebuild_throttle_paces_the_sweep():
+    system = make_system()
+    pfile = build_parity_file(system, "gentle", pattern_chunks(12))
+    drop_caches(system)
+    with FaultInjector(system).failed(1):
+        pass
+    fast, _ = run_rebuild(system, pfile, 1)
+    system2 = make_system(seed=21)
+    pfile2 = build_parity_file(system2, "gentle", pattern_chunks(12))
+    drop_caches(system2)
+    with FaultInjector(system2).failed(1):
+        pass
+    slow, _ = run_rebuild(system2, pfile2, 1, rate=10.0)
+    # 12 blocks at p=4 -> 4 stripes -> >= 0.4 simulated seconds throttled
+    assert slow.elapsed >= 4 * 0.1
+    assert slow.elapsed > fast.elapsed
+
+
+def test_rebuild_progress_reports_eta():
+    system = make_system()
+    pfile = build_parity_file(system, "watched", pattern_chunks(12))
+    drop_caches(system)
+    rebuild = OnlineRebuild(pfile, 3, rate=100.0)
+    assert rebuild.progress.eta(0.0) is None  # nothing rebuilt yet
+    etas = []
+
+    def sample():
+        process = rebuild.start()
+        while not rebuild.progress.done:
+            eta = rebuild.progress.eta(system.sim.now)
+            if eta is not None:
+                etas.append(eta)
+            yield Timeout(0.001)
+        return (yield process.join())
+
+    system.run(sample(), name="sampler")
+    assert rebuild.progress.done
+    assert etas, "never observed a mid-flight ETA"
+    assert all(eta >= 0 for eta in etas)
+
+
+def test_rebuild_validates_slot_and_rate():
+    system = make_system()
+    pfile = build_parity_file(system, "checked", pattern_chunks(4))
+    with pytest.raises(ValueError):
+        OnlineRebuild(pfile, 9)
+    with pytest.raises(ValueError):
+        OnlineRebuild(pfile, 0, rate=0.0)
