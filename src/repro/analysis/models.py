@@ -108,6 +108,65 @@ def copy_time_model(
 
 
 # ---------------------------------------------------------------------------
+# Noncontiguous-access message model (S17)
+# ---------------------------------------------------------------------------
+#
+# The list-I/O argument is purely combinatorial, so it has an exact
+# analytic form the simulator must reproduce message-for-message:
+#
+# * naive:     one EFS request per access              -> N
+# * list I/O:  one batched EFS request per touched LFS -> |slots(blocks)|
+# * two-phase: one aggregator (and one batched EFS request) per touched
+#   slot, one descriptor message per aggregator, and one redistribution
+#   message per (worker, slot) pair with traffic between them.
+
+
+def touched_slots(blocks: Sequence[int], width: int, start: int = 0) -> int:
+    """Distinct LFS slots a set of global blocks lands on."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return len({(block + start) % width for block in blocks})
+
+
+def naive_rpc_count(blocks: Sequence[int]) -> int:
+    """Per-block access: one Bridge->EFS request per access (dups pay)."""
+    return len(blocks)
+
+
+def listio_rpc_count(blocks: Sequence[int], width: int, start: int = 0) -> int:
+    """List I/O: one batched EFS request per touched LFS, at most p."""
+    return touched_slots(blocks, width, start)
+
+
+def twophase_message_counts(
+    per_worker_blocks: Sequence[Sequence[int]], width: int, start: int = 0
+) -> Dict[str, int]:
+    """Exact message counts for a two-phase collective operation.
+
+    Returns ``efs_requests`` (= ``aggregators``), ``exchange_messages``
+    (one descriptor per aggregator) and ``redistribution_messages`` (one
+    per (worker, slot) pair with data) — the same fields
+    :class:`repro.collective.CollectiveStats` reports, so model and
+    measurement can be compared for equality, not just shape.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    slots = set()
+    pairs = set()
+    for worker, blocks in enumerate(per_worker_blocks):
+        for block in blocks:
+            slot = (block + start) % width
+            slots.add(slot)
+            pairs.add((worker, slot))
+    return {
+        "aggregators": len(slots),
+        "efs_requests": len(slots),
+        "exchange_messages": len(slots),
+        "redistribution_messages": len(pairs),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Fitting helpers
 # ---------------------------------------------------------------------------
 

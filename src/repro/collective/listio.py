@@ -1,0 +1,205 @@
+"""List-I/O request descriptors (S17).
+
+Bridge's three views move whole contiguous block runs, but the workloads
+the paper targets — tools, the parallel sort, and every parallel-I/O
+successor — are dominated by *noncontiguous* access: strided records,
+scattered slots, many small requests.  Following Ching et al.'s
+"Noncontiguous I/O through PVFS", a :class:`ListIORequest` describes an
+arbitrary noncontiguous access as a list of ``(start, count)`` extents in
+global block numbers.  The Bridge Server (``list_read``/``list_write``)
+decomposes one descriptor per-LFS and ships it as *one* batched EFS
+message per constituent, collapsing thousands of single-block RPCs into
+at most ``p`` requests.
+
+This module is pure arithmetic — descriptors, constructors, and the
+per-LFS decomposition — exercised by unit tests without any simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.addressing import InterleaveMap
+
+
+@dataclass(frozen=True)
+class Extent:
+    """One contiguous run of ``count`` blocks starting at ``start``."""
+
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"extent start must be >= 0, got {self.start}")
+        if self.count < 1:
+            raise ValueError(f"extent count must be >= 1, got {self.count}")
+
+    @property
+    def stop(self) -> int:
+        """One past the last block of the extent."""
+        return self.start + self.count
+
+    def blocks(self) -> Iterator[int]:
+        return iter(range(self.start, self.stop))
+
+
+class ListIORequest:
+    """A noncontiguous access pattern: an ordered list of extents.
+
+    The extent order is the *request order* — data moved by a list read
+    or write is delivered in exactly this order, so a descriptor is a
+    complete replacement for a sequence of single-block operations.
+    Extents may touch the same block more than once (a re-read); the
+    per-LFS decomposition deduplicates so each block crosses the wire
+    once per batched request.
+    """
+
+    __slots__ = ("extents",)
+
+    def __init__(self, extents: Iterable) -> None:
+        normalized: List[Extent] = []
+        for extent in extents:
+            if isinstance(extent, Extent):
+                normalized.append(extent)
+            else:
+                start, count = extent
+                normalized.append(Extent(start, count))
+        self.extents: Tuple[Extent, ...] = tuple(normalized)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def contiguous(cls, start: int, count: int) -> "ListIORequest":
+        """A single contiguous run (degenerate but uniform case)."""
+        return cls([Extent(start, count)])
+
+    @classmethod
+    def strided(cls, start: int, stride: int, count: int,
+                run_length: int = 1) -> "ListIORequest":
+        """``count`` runs of ``run_length`` blocks every ``stride`` blocks.
+
+        The classic strided pattern: record ``i`` of a fixed-stride file
+        layout lives at ``start + i * stride``.  ``stride`` must be at
+        least ``run_length`` (runs may touch but not overlap).
+        """
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if run_length < 1:
+            raise ValueError(f"run length must be >= 1, got {run_length}")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if run_length > stride:
+            raise ValueError(
+                f"run length {run_length} overlaps the next run "
+                f"(stride {stride})"
+            )
+        return cls(
+            [Extent(start + i * stride, run_length) for i in range(count)]
+        )
+
+    @classmethod
+    def vector(cls, offsets: Sequence[int], run_length: int = 1) -> "ListIORequest":
+        """Runs of a common length at arbitrary offsets (MPI-style vector)."""
+        if run_length < 1:
+            raise ValueError(f"run length must be >= 1, got {run_length}")
+        if not offsets:
+            raise ValueError("vector request needs at least one offset")
+        return cls([Extent(offset, run_length) for offset in offsets])
+
+    @classmethod
+    def from_blocks(cls, blocks: Sequence[int]) -> "ListIORequest":
+        """Coalesce an ordered block list into maximal contiguous extents."""
+        if not blocks:
+            raise ValueError("block list must not be empty")
+        extents: List[Extent] = []
+        run_start = blocks[0]
+        run_len = 1
+        for block in blocks[1:]:
+            if block == run_start + run_len:
+                run_len += 1
+            else:
+                extents.append(Extent(run_start, run_len))
+                run_start, run_len = block, 1
+        extents.append(Extent(run_start, run_len))
+        return cls(extents)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks moved by the request (duplicates counted)."""
+        return sum(extent.count for extent in self.extents)
+
+    @property
+    def max_block(self) -> int:
+        """The highest global block touched."""
+        return max(extent.stop - 1 for extent in self.extents)
+
+    @property
+    def min_block(self) -> int:
+        return min(extent.start for extent in self.extents)
+
+    def blocks(self) -> Iterator[int]:
+        """Every global block in request order (duplicates preserved)."""
+        for extent in self.extents:
+            yield from extent.blocks()
+
+    def block_list(self) -> List[int]:
+        return list(self.blocks())
+
+    def __len__(self) -> int:
+        return len(self.extents)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ListIORequest) and self.extents == other.extents
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.extents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        runs = ", ".join(f"{e.start}+{e.count}" for e in self.extents[:4])
+        suffix = ", ..." if len(self.extents) > 4 else ""
+        return f"ListIORequest([{runs}{suffix}], blocks={self.total_blocks})"
+
+    # ------------------------------------------------------------------
+    # Decomposition
+    # ------------------------------------------------------------------
+
+    def decompose(self, interleave: InterleaveMap) -> Dict[int, List[int]]:
+        """Per-LFS local block lists: ``{slot: sorted local blocks}``.
+
+        Each slot's list is ascending and deduplicated — the shape a
+        batched EFS request wants, so hint threading walks each
+        constituent file strictly forward.
+        """
+        per_slot: Dict[int, set] = {}
+        for block in self.blocks():
+            slot, local = interleave.locate(block)
+            per_slot.setdefault(slot, set()).add(local)
+        return {slot: sorted(locals_) for slot, locals_ in per_slot.items()}
+
+    def slots_touched(self, interleave: InterleaveMap) -> List[int]:
+        """The LFS slots this request reaches (sorted)."""
+        return sorted(self.decompose(interleave))
+
+
+def coalesce_blocks(blocks: Sequence[int]) -> List[Extent]:
+    """Maximal contiguous extents of an ascending block list.
+
+    The EFS batch server uses this to count how many distinct *runs* a
+    batched request decays into once sorted — adjacent blocks share
+    track reads, so runs (not blocks) drive the device cost.
+    """
+    if not blocks:
+        return []
+    return list(ListIORequest.from_blocks(list(blocks)).extents)

@@ -1,0 +1,341 @@
+"""Two-phase collective I/O (S17).
+
+A job of ``t`` workers each holding a *noncontiguous* request pattern is
+the worst case for per-block RPC: poorly aligned per-worker patterns turn
+into thousands of tiny requests criss-crossing the interconnect.  The
+two-phase scheme (cf. ViPIOS and ROMIO's collective buffering) fixes the
+alignment first and moves data second:
+
+* **Phase 1 — exchange & election.**  Workers exchange their request
+  descriptors; one *aggregator* is elected per touched LFS slot, aligned
+  to the interleave, and spawned *on that LFS node* (the tool-view trick:
+  ship code to data).  Each aggregator receives the merged descriptor for
+  its slot.
+* **Phase 2 — aligned access & redistribution.**  Each aggregator issues
+  exactly **one** batched ``read_blocks``/``write_blocks`` request to its
+  *local* EFS — each LFS sees a single sorted run instead of t
+  interleaved dribbles — and the data is redistributed between
+  aggregators and workers over the interconnect, one sized message per
+  (worker, slot) pair.
+
+The result: ``A <= p`` EFS requests total (versus one per block), every
+EFS request local to its disk, and all cross-machine traffic batched into
+at most ``A * t`` sized messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.addressing import InterleaveMap
+from repro.efs.client import EFSClient
+from repro.errors import BridgeBadRequestError
+from repro.machine import Client
+
+
+#: Modeled wire bytes per block address in an exchanged request descriptor.
+DESCRIPTOR_BYTES_PER_BLOCK = 8
+
+
+@dataclass
+class CollectiveStats:
+    """Accounting of one collective operation."""
+
+    workers: int
+    aggregators: int
+    blocks: int  # distinct global blocks moved
+    efs_requests: int  # batched EFS requests issued (one per aggregator)
+    exchange_messages: int  # phase-1 descriptor shipments
+    redistribution_messages: int  # phase-2 (worker, slot) data messages
+    bytes_redistributed: int
+    elapsed: float
+
+
+def as_block_lists(worker_patterns: Sequence) -> List[List[int]]:
+    """Per-worker global block lists from ListIORequests / iterables."""
+    lists = []
+    for pattern in worker_patterns:
+        if hasattr(pattern, "blocks"):
+            lists.append(list(pattern.blocks()))
+        else:
+            lists.append(list(pattern))
+    return lists
+
+
+def elect_aggregators(
+    interleave: InterleaveMap, per_worker_blocks: Sequence[Sequence[int]]
+) -> Dict[int, Dict[int, List[int]]]:
+    """The exchange outcome: ``{slot: {worker: [global blocks]}}``.
+
+    One aggregator per touched slot, aligned to the interleave — the
+    election rule that guarantees each LFS sees exactly one batched
+    request.  Worker block lists keep request order (duplicates removed).
+    """
+    assignment: Dict[int, Dict[int, List[int]]] = {}
+    for worker, blocks in enumerate(per_worker_blocks):
+        seen = set()
+        for block in blocks:
+            if block in seen:
+                continue
+            seen.add(block)
+            slot = interleave.slot_of(block)
+            assignment.setdefault(slot, {}).setdefault(worker, []).append(block)
+    return assignment
+
+
+class TwoPhaseIO:
+    """Two-phase collective reads/writes over one Bridge file.
+
+    Create with a :class:`~repro.harness.builders.BridgeSystem` and a
+    file name; drive :meth:`read` / :meth:`write` inside a simulated
+    process.  The engine plays the job-controller role: it opens the file
+    through the Bridge Server (structure only — block traffic never
+    touches the central server), spawns aggregators on the LFS nodes, and
+    collects the redistributed data for the workers.
+    """
+
+    def __init__(self, system, name: str, node=None) -> None:
+        self.system = system
+        self.name = name
+        self.node = node or system.client_node
+        self.machine = system.machine
+        self._rpc = Client(self.node, f"twophase:{name}")
+        self._opened = None
+
+    # ------------------------------------------------------------------
+
+    def open(self):
+        """Open (or re-open) the file; caches the structural result so
+        repeated collective calls don't re-pay the open (and its per-LFS
+        info RPCs) every time."""
+        client = self.system.naive_client(self.node)
+        self._opened = yield from client.open(self.name)
+        return self._opened
+
+    def _ensure_open(self):
+        if self._opened is None:
+            yield from self.open()
+        return self._opened
+
+    # ------------------------------------------------------------------
+    # Collective read
+    # ------------------------------------------------------------------
+
+    def read(self, worker_patterns: Sequence):
+        """Collective read: one pattern per worker.
+
+        Returns ``(per_worker_chunks, CollectiveStats)`` where
+        ``per_worker_chunks[w]`` follows worker ``w``'s request order.
+        """
+        per_worker = as_block_lists(worker_patterns)
+        if not per_worker:
+            raise BridgeBadRequestError("collective read needs >= 1 worker")
+        opened = yield from self._ensure_open()
+        imap = InterleaveMap(opened.width, opened.start)
+        for worker, blocks in enumerate(per_worker):
+            for block in blocks:
+                if not 0 <= block < opened.total_blocks:
+                    raise BridgeBadRequestError(
+                        f"{self.name!r}: worker {worker} requests block "
+                        f"{block} outside file of {opened.total_blocks} blocks"
+                    )
+        sim = self.system.sim
+        start = sim.now
+        assignment = elect_aggregators(imap, per_worker)
+        # All redistribution messages land on one coordinator-owned port;
+        # each carries its (slot, worker) origin, so the coordinator can
+        # deliver to the right worker regardless of arrival order.
+        collect_port = self.node.port("twophase.collect")
+        exchange_messages = 0
+        expected = 0
+        for slot in sorted(assignment):
+            constituent = opened.constituents[slot]
+            lfs_node = self.machine.node(constituent.node_index)
+            agg_port = lfs_node.port(f"twophase.agg{slot}")
+            yield self.machine.spawn_remote(
+                lfs_node,
+                self._read_aggregator(
+                    slot, constituent, imap, assignment[slot],
+                    agg_port, collect_port,
+                ),
+                name=f"twophase.agg{slot}",
+            )
+            descriptor_blocks = sum(
+                len(blocks) for blocks in assignment[slot].values()
+            )
+            self.node.send(
+                agg_port, assignment[slot],
+                size=DESCRIPTOR_BYTES_PER_BLOCK * descriptor_blocks,
+            )
+            exchange_messages += 1
+            expected += len(assignment[slot])
+        by_block: List[Dict[int, bytes]] = [dict() for _ in per_worker]
+        bytes_redistributed = 0
+        for _ in range(expected):
+            _slot, worker, payload = yield collect_port.recv()
+            for block, data in payload:
+                by_block[worker][block] = data
+                bytes_redistributed += len(data)
+        chunks = [
+            [by_block[worker][block] for block in blocks]
+            for worker, blocks in enumerate(per_worker)
+        ]
+        distinct = len({b for blocks in per_worker for b in blocks})
+        stats = CollectiveStats(
+            workers=len(per_worker),
+            aggregators=len(assignment),
+            blocks=distinct,
+            efs_requests=len(assignment),
+            exchange_messages=exchange_messages,
+            redistribution_messages=expected,
+            bytes_redistributed=bytes_redistributed,
+            elapsed=sim.now - start,
+        )
+        return chunks, stats
+
+    def _read_aggregator(self, slot, constituent, imap, slot_assignment,
+                         agg_port, collect_port):
+        """Aggregator body: one local batched read, then redistribute."""
+        yield agg_port.recv()  # phase 1: the merged descriptor arrives
+        lfs_node = self.machine.node(constituent.node_index)
+        efs = EFSClient(lfs_node, constituent.lfs_port, name=f"agg{slot}")
+        union_locals = sorted({
+            imap.local_block(block)
+            for blocks in slot_assignment.values()
+            for block in blocks
+        })
+        batch = yield from efs.read_blocks(
+            constituent.efs_file_number, union_locals,
+            hint=constituent.head_addr,
+        )
+        by_local = {r.block_number: r.data for r in batch.results}
+        for worker, blocks in sorted(slot_assignment.items()):
+            payload = [
+                (block, by_local[imap.local_block(block)]) for block in blocks
+            ]
+            lfs_node.send(
+                collect_port,
+                (slot, worker, payload),
+                size=sum(len(data) for _block, data in payload),
+            )
+
+    # ------------------------------------------------------------------
+    # Collective write
+    # ------------------------------------------------------------------
+
+    def write(self, worker_writes: Sequence[Sequence[Tuple[int, bytes]]]):
+        """Collective write: per worker, a list of (global_block, data).
+
+        In-place updates may scatter anywhere; appended blocks must form
+        a dense run from the current end (the same no-sparse rule as the
+        Bridge list write).  If two workers write the same block the
+        higher-numbered worker wins — deterministic, unlike t racing
+        single-block RPCs.  Returns ``(new_total_blocks,
+        CollectiveStats)``.
+        """
+        per_worker = [list(writes) for writes in worker_writes]
+        if not per_worker:
+            raise BridgeBadRequestError("collective write needs >= 1 worker")
+        opened = yield from self._ensure_open()
+        imap = InterleaveMap(opened.width, opened.start)
+        targets = {block for writes in per_worker for block, _data in writes}
+        if not targets:
+            return opened.total_blocks, CollectiveStats(
+                len(per_worker), 0, 0, 0, 0, 0, 0, 0.0
+            )
+        if min(targets) < 0:
+            raise BridgeBadRequestError(
+                f"{self.name!r}: negative block in collective write"
+            )
+        new_total = max(opened.total_blocks, max(targets) + 1)
+        missing = [
+            block for block in range(opened.total_blocks, new_total)
+            if block not in targets
+        ]
+        if missing:
+            raise BridgeBadRequestError(
+                f"{self.name!r}: collective write appends must be dense; "
+                f"{len(missing)} blocks between the current end "
+                f"({opened.total_blocks}) and {new_total - 1} are uncovered"
+            )
+        sim = self.system.sim
+        start = sim.now
+        # Election over the write targets: {slot: {worker: [(global, data)]}}
+        assignment: Dict[int, Dict[int, List[Tuple[int, bytes]]]] = {}
+        for worker, writes in enumerate(per_worker):
+            deduped: Dict[int, bytes] = {}
+            for block, data in writes:
+                deduped[block] = data  # last write of one worker wins
+            for block, data in deduped.items():
+                slot = imap.slot_of(block)
+                assignment.setdefault(slot, {}).setdefault(worker, []).append(
+                    (block, data)
+                )
+        done_port = self.node.port("twophase.write.done")
+        exchange_messages = 0
+        redistribution = 0
+        bytes_redistributed = 0
+        for slot in sorted(assignment):
+            constituent = opened.constituents[slot]
+            lfs_node = self.machine.node(constituent.node_index)
+            agg_port = lfs_node.port(f"twophase.agg{slot}")
+            senders = sorted(assignment[slot])
+            yield self.machine.spawn_remote(
+                lfs_node,
+                self._write_aggregator(
+                    slot, constituent, imap, len(senders), agg_port, done_port
+                ),
+                name=f"twophase.agg{slot}",
+            )
+            # Phase 1: each worker ships its slot-bound data to the
+            # elected aggregator — one sized message per (worker, slot).
+            for worker in senders:
+                payload = assignment[slot][worker]
+                size = sum(len(data) for _block, data in payload)
+                self.node.send(agg_port, (worker, payload), size=size)
+                redistribution += 1
+                bytes_redistributed += size
+            exchange_messages += 1
+        for _ in range(len(assignment)):
+            yield done_port.recv()
+        # Appends happened behind the Bridge Server's back (tool-style
+        # direct EFS access); re-open so the directory entry resyncs its
+        # size from the constituents before anyone trusts it again.
+        if new_total > opened.total_blocks:
+            yield from self.open()
+        stats = CollectiveStats(
+            workers=len(per_worker),
+            aggregators=len(assignment),
+            blocks=len(targets),
+            efs_requests=len(assignment),
+            exchange_messages=exchange_messages,
+            redistribution_messages=redistribution,
+            bytes_redistributed=bytes_redistributed,
+            elapsed=sim.now - start,
+        )
+        return new_total, stats
+
+    def _write_aggregator(self, slot, constituent, imap, sender_count,
+                          agg_port, done_port):
+        """Aggregator body: collect worker data, one local batched write."""
+        received: List[Tuple[int, List[Tuple[int, bytes]]]] = []
+        for _ in range(sender_count):
+            worker, payload = yield agg_port.recv()
+            received.append((worker, payload))
+        # Deterministic conflict rule regardless of arrival order: merge
+        # in worker order, so the highest-numbered worker wins a block.
+        merged: Dict[int, bytes] = {}
+        for _worker, payload in sorted(received):
+            for block, data in payload:
+                merged[block] = data
+        lfs_node = self.machine.node(constituent.node_index)
+        efs = EFSClient(lfs_node, constituent.lfs_port, name=f"agg{slot}")
+        writes = [
+            (imap.local_block(block), merged[block])
+            for block in sorted(merged)
+        ]
+        result = yield from efs.write_blocks(
+            constituent.efs_file_number, writes, hint=constituent.head_addr
+        )
+        lfs_node.send(done_port, (slot, result.appended))

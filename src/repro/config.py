@@ -115,6 +115,11 @@ class SystemConfig:
     #: Use an embedded binary tree for Create start-up/completion messages
     #: (section 4.5 suggests this as an improvement; off = paper behavior).
     create_uses_tree: bool = False
+    #: Fan-out window for the Bridge Server's batched list-I/O gather: at
+    #: most this many per-LFS batch requests are outstanding at once
+    #: (0 = unbounded, fine at paper scale; bound it when p grows past
+    #: what one server's mailbox should absorb in a burst).
+    bridge_fanout_limit: int = 0  # 0 = unbounded
     #: Write-behind in the LFS (section 6 assumes read-ahead *and*
     #: write-behind for the naive view to become compute-bound).  Off by
     #: default: the measured prototype's 31 ms writes are write-through.

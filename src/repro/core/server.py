@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.config import BLOCK_SIZE, SystemConfig
+from repro.config import BLOCK_SIZE, DATA_BYTES_PER_BLOCK, SystemConfig
 from repro.core.directory import BridgeDirectory, BridgeFileEntry
 from repro.core.info import ConstituentInfo, LFSHandle, OpenResult, SystemInfo
 from repro.core.parallel import BlockDelivery, Deposit, JobInfo
@@ -327,6 +327,126 @@ class BridgeServer(Server):
         if block_number == entry.total_blocks:
             entry.total_blocks += 1
         return block_number
+
+    # ==================================================================
+    # List I/O (noncontiguous access, S17)
+    # ==================================================================
+
+    def op_list_read(self, name, blocks):
+        """Noncontiguous read: one batched EFS request per touched LFS.
+
+        ``blocks`` is the global block list of a
+        :class:`~repro.collective.ListIORequest` (request order preserved
+        in the returned data).  The server decomposes it per constituent
+        and ships each LFS *one* ``read_blocks`` message instead of one
+        RPC per block; like the other naive-view reads, the fan-out and
+        reassembly run detached so a big list read does not serialize
+        unrelated clients behind the central server.
+        """
+        yield Timeout(self.config.cpu.bridge_request)
+        entry = self.directory.lookup(name)
+        blocks = list(blocks)
+        if not blocks:
+            return Response(value=[])
+        per_slot: Dict[int, List[int]] = {}
+        for block in blocks:
+            if not 0 <= block < entry.total_blocks:
+                raise BridgeBadRequestError(
+                    f"{name!r}: block {block} outside file of "
+                    f"{entry.total_blocks} blocks"
+                )
+            slot, local = entry.locate_block(block)
+            locals_ = per_slot.setdefault(slot, [])
+            locals_.append(local)
+        calls = []
+        slots = sorted(per_slot)
+        for slot in slots:
+            locals_ = sorted(set(per_slot[slot]))
+            calls.append(
+                (self._slot_port(entry, slot), "read_blocks",
+                 {"file_number": entry.efs_file_numbers[slot],
+                  "block_numbers": locals_,
+                  "hint": self._hints.get((name, slot))}, 0)
+            )
+
+        def forward():
+            batches = yield from gather(
+                self.node, calls,
+                max_in_flight=self.config.bridge_fanout_limit or None,
+            )
+            by_location: Dict[Tuple[int, int], bytes] = {}
+            for slot, batch in zip(slots, batches):
+                for result in batch.results:
+                    by_location[(slot, result.block_number)] = result.data
+                if batch.results:
+                    self._hints[(name, slot)] = batch.results[-1].next_addr
+            data = [by_location[entry.locate_block(block)] for block in blocks]
+            return Response(value=data, size=sum(len(d) for d in data))
+
+        from repro.machine.rpc import Detached
+
+        return Detached(forward())
+
+    def op_list_write(self, name, writes):
+        """Noncontiguous write: one batched EFS request per touched LFS.
+
+        ``writes`` is a list of ``(global_block, data)`` pairs.  In-place
+        updates may scatter anywhere in the file; appended blocks must
+        form a dense run starting at the current end (the file-level
+        no-sparse rule, matching the per-constituent EFS rule).  Returns
+        the file's new total size in blocks.
+        """
+        yield Timeout(self.config.cpu.bridge_request)
+        entry = self.directory.lookup(name)
+        writes = list(writes)
+        if not writes:
+            return entry.total_blocks
+        if entry.disordered:
+            raise BridgeBadRequestError(
+                f"{name!r}: list write is not supported on disordered "
+                "files (use the naive view)"
+            )
+        targets = {block for block, _data in writes}
+        new_total = max(entry.total_blocks, max(targets) + 1)
+        missing = [
+            block for block in range(entry.total_blocks, new_total)
+            if block not in targets
+        ]
+        if missing:
+            raise BridgeBadRequestError(
+                f"{name!r}: list write appends must be dense; blocks "
+                f"{missing[:4]}{'...' if len(missing) > 4 else ''} between "
+                f"the current end ({entry.total_blocks}) and "
+                f"{new_total - 1} are not covered"
+            )
+        for block, data in writes:
+            if block < 0:
+                raise BridgeBadRequestError(
+                    f"{name!r}: negative block {block} in list write"
+                )
+            if len(data) > DATA_BYTES_PER_BLOCK:
+                raise BridgeBadRequestError(
+                    f"{name!r}: write of {len(data)} bytes exceeds data "
+                    f"area {DATA_BYTES_PER_BLOCK}"
+                )
+        per_slot: Dict[int, List[Tuple[int, bytes]]] = {}
+        for block, data in writes:
+            slot, local = entry.interleave.locate(block)
+            per_slot.setdefault(slot, []).append((local, data))
+        calls = [
+            (self._slot_port(entry, slot), "write_blocks",
+             {"file_number": entry.efs_file_numbers[slot],
+              "writes": slot_writes,
+              "hint": self._hints.get((name, slot))},
+             BLOCK_SIZE * len(slot_writes))
+            for slot, slot_writes in sorted(per_slot.items())
+        ]
+        yield from gather(
+            self.node, calls,
+            max_in_flight=self.config.bridge_fanout_limit or None,
+        )
+        entry.total_blocks = new_total
+        return new_total
 
     # ==================================================================
     # Parallel-open view

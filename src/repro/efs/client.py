@@ -69,6 +69,40 @@ class EFSClient:
             )
         )
 
+    def read_blocks(self, file_number: int, block_numbers, hint=None):
+        """Batched list-I/O read: one RPC for many blocks.
+
+        Returns a :class:`~repro.efs.messages.BatchReadResult` whose
+        ``results`` follow the request order of ``block_numbers``.
+        """
+        return (
+            yield from self._rpc.call(
+                self.port,
+                "read_blocks",
+                file_number=file_number,
+                block_numbers=list(block_numbers),
+                hint=hint,
+            )
+        )
+
+    def write_blocks(self, file_number: int, writes, hint=None):
+        """Batched list-I/O write of ``(block_number, data)`` pairs.
+
+        Returns a :class:`~repro.efs.messages.BatchWriteResult`.  The
+        request is charged the full payload size on the wire.
+        """
+        writes = list(writes)
+        return (
+            yield from self._rpc.call(
+                self.port,
+                "write_blocks",
+                size=BLOCK_SIZE * len(writes),
+                file_number=file_number,
+                writes=writes,
+                hint=hint,
+            )
+        )
+
     def append(self, file_number: int, data: bytes):
         """Returns a :class:`~repro.efs.messages.WriteResult`."""
         return (

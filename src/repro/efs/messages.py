@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.efs.layout import NULL_ADDR
 
@@ -34,6 +34,38 @@ class WriteResult:
     file_number: int
     block_number: int
     addr: int
+
+
+@dataclass
+class BatchReadResult:
+    """Answer to a multi-block ``read_blocks`` request (list I/O).
+
+    ``results`` holds one :class:`ReadResult` per requested block, in
+    request order.  ``runs`` counts the maximal groups of *adjacent disk
+    addresses* the batch decayed into after sorting — adjacent blocks
+    share full-track reads, so runs (not blocks) drive the device cost.
+    ``hint_hits`` counts blocks located directly from the threaded hint
+    without any list walk (section 4.3's hint reuse, amortized batch-wide).
+    """
+
+    file_number: int
+    results: List["ReadResult"] = field(default_factory=list)
+    runs: int = 0
+    hint_hits: int = 0
+
+    @property
+    def data(self) -> List[bytes]:
+        return [result.data for result in self.results]
+
+
+@dataclass
+class BatchWriteResult:
+    """Answer to a multi-block ``write_blocks`` request (list I/O)."""
+
+    file_number: int
+    results: List["WriteResult"] = field(default_factory=list)
+    runs: int = 0
+    appended: int = 0
 
 
 @dataclass

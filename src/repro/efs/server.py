@@ -35,7 +35,13 @@ from repro.efs.layout import (
     pack_block,
     unpack_block,
 )
-from repro.efs.messages import FileInfo, ReadResult, WriteResult
+from repro.efs.messages import (
+    BatchReadResult,
+    BatchWriteResult,
+    FileInfo,
+    ReadResult,
+    WriteResult,
+)
 from repro.errors import EFSBlockNotFoundError, EFSCorruptionError
 from repro.machine import Response, Server
 from repro.sim import Timeout
@@ -173,6 +179,107 @@ class EFSServer(Server):
         size = yield from self._file_size(entry)
         block_number, addr = yield from self._append(entry, size, data)
         return WriteResult(file_number, block_number, addr)
+
+    def op_read_blocks(self, file_number, block_numbers, hint=None):
+        """Serve many blocks of one file in a single request (list I/O).
+
+        The whole batch pays one request-decode charge instead of one per
+        block — the point of batching.  Blocks are located in ascending
+        order so each block's on-disk ``next_addr`` seeds the next lookup
+        (hint reuse across the batch), and results are returned in the
+        *requested* order.  Adjacent located addresses coalesce into runs
+        that share full-track reads through the cache.
+        """
+        yield Timeout(self.config.cpu.efs_request)
+        if not block_numbers:
+            return Response(value=BatchReadResult(file_number), size=0)
+        by_number = {}
+        runs = 0
+        hint_hits = 0
+        last_addr = None
+        entry = None
+        for block_number in sorted(set(block_numbers)):
+            located = yield from self._try_hint(file_number, block_number, hint)
+            if located is not None:
+                hint_hits += 1
+            else:
+                if entry is None:
+                    entry = yield from self.directory.lookup(file_number)
+                located = yield from self._locate(entry, block_number, hint)
+            addr, header, bridge, data = located
+            by_number[block_number] = ReadResult(
+                file_number=file_number,
+                block_number=block_number,
+                data=data,
+                addr=addr,
+                next_addr=header.next_addr,
+                prev_addr=header.prev_addr,
+                global_block=bridge.global_block,
+            )
+            if last_addr is None or addr != last_addr + 1:
+                runs += 1
+            last_addr = addr
+            hint = header.next_addr
+        results = [by_number[number] for number in block_numbers]
+        size = sum(len(result.data) for result in results)
+        return Response(
+            value=BatchReadResult(file_number, results, runs, hint_hits),
+            size=size,
+        )
+
+    def op_write_blocks(self, file_number, writes, hint=None):
+        """Write many ``(block_number, data)`` pairs in a single request.
+
+        Writes apply in ascending block order regardless of the request
+        order, so a batch may mix in-place updates with a dense run of
+        appends (each append lands exactly one past the current end, the
+        same no-sparse-files rule as :meth:`op_write`).  Duplicate block
+        numbers keep the *last* value in request order, matching the
+        outcome of issuing the writes one by one.
+        """
+        yield Timeout(self.config.cpu.efs_request)
+        if not writes:
+            return BatchWriteResult(file_number)
+        latest = {}
+        for block_number, data in writes:
+            if len(data) > DATA_BYTES_PER_BLOCK:
+                raise ValueError(
+                    f"write of {len(data)} bytes exceeds data area "
+                    f"{DATA_BYTES_PER_BLOCK}"
+                )
+            latest[block_number] = data
+        entry = yield from self.directory.lookup(file_number)
+        size = yield from self._file_size(entry)
+        by_number = {}
+        runs = 0
+        appended = 0
+        last_addr = None
+        for block_number in sorted(latest):
+            data = latest[block_number]
+            if block_number > size:
+                raise EFSBlockNotFoundError(
+                    f"file {file_number}: cannot write block {block_number} "
+                    f"past end (size {size}); sparse files are not supported"
+                )
+            if block_number == size:
+                _number, addr = yield from self._append(entry, size, data)
+                size += 1
+                appended += 1
+            else:
+                located = yield from self._try_hint(
+                    file_number, block_number, hint
+                )
+                if located is None:
+                    located = yield from self._locate(entry, block_number, hint)
+                addr, header, bridge, _old = located
+                yield from self._overwrite(addr, header, bridge, data)
+                hint = header.next_addr
+            by_number[block_number] = WriteResult(file_number, block_number, addr)
+            if last_addr is None or addr != last_addr + 1:
+                runs += 1
+            last_addr = addr
+        results = [by_number[number] for number, _data in writes]
+        return BatchWriteResult(file_number, results, runs, appended)
 
     def op_info(self, file_number):
         """Size and placement facts about one file."""

@@ -1,5 +1,6 @@
 """Experiment harness: system builders, runners, and result records."""
 
 from repro.harness.builders import BridgeSystem, build_system, paper_system
+from repro.harness.results import CollectiveRun
 
-__all__ = ["BridgeSystem", "build_system", "paper_system"]
+__all__ = ["BridgeSystem", "CollectiveRun", "build_system", "paper_system"]

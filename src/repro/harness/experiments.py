@@ -464,6 +464,145 @@ def run_redundancy_experiment(scheme: str, p: int = 4, blocks: Optional[int] = N
     )
 
 
+def run_collective_experiment(
+    p: int = 8,
+    workers: Optional[int] = None,
+    blocks: Optional[int] = None,
+    accesses: Optional[int] = None,
+    pattern: str = "strided",
+    stride: Optional[int] = None,
+    seed: int = 0,
+) -> "CollectiveRun":
+    """Noncontiguous-access ablation (S17): naive vs list I/O vs two-phase.
+
+    ``t`` workers (default ``p``) share ``accesses`` single-block reads
+    of one interleaved file, shaped by ``pattern`` (``"strided"``,
+    ``"scatter"``, or ``"hotspot"``; see :mod:`repro.workloads.traces`).
+    Three arms move the same bytes:
+
+    * **naive** — one ``random_read`` RPC per access;
+    * **list I/O** — each worker ships its whole pattern as one
+      ``list_read``, decomposed into at most p batched EFS requests;
+    * **two-phase** — workers exchange patterns, interleave-aligned
+      aggregators issue one local batched request per touched LFS.
+
+    EFS caches are flushed and invalidated between arms so each pays its
+    own disk traffic.  The measured request/message counts are paired
+    with the analytic model (:mod:`repro.analysis.models`) for
+    equality checks, and ``content_ok`` records that all three arms
+    returned byte-identical data.
+    """
+    from repro.analysis.models import (
+        listio_rpc_count,
+        naive_rpc_count,
+        twophase_message_counts,
+    )
+    from repro.collective import TwoPhaseIO
+    from repro.harness.results import CollectiveRun
+    from repro.workloads.traces import (
+        hotspot_pattern,
+        scatter_pattern,
+        strided_pattern,
+    )
+
+    workers = workers if workers is not None else p
+    blocks = blocks if blocks is not None else max(64, 8 * p)
+    accesses = accesses if accesses is not None else max(32, 4 * p)
+    if pattern == "strided":
+        stride = stride if stride is not None else max(2, blocks // accesses)
+        count = min(accesses, max(1, (blocks - 1) // stride + 1))
+        trace = strided_pattern(0, stride, count)
+    elif pattern == "scatter":
+        trace = scatter_pattern(blocks, min(accesses, blocks), seed=seed)
+    elif pattern == "hotspot":
+        trace = hotspot_pattern(blocks, accesses, seed=seed)
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    # Round-robin split: worker w takes trace[w::t].
+    per_worker = [trace[w::workers] for w in range(workers)]
+    per_worker = [blocks_ for blocks_ in per_worker if blocks_]
+
+    system = paper_system(p, seed=seed)
+    build_file(system, "coll", pattern_chunks(blocks))
+    client = system.naive_client()
+    sim = system.sim
+    efs_total = lambda: sum(s.requests_served for s in system.efs_servers)
+
+    def flush_caches():
+        for efs in system.efs_servers:
+            system.run(efs.cache.flush(), name="flush")
+            efs.cache.invalidate_all()
+
+    def naive_arm():
+        yield from client.open("coll")
+        before = efs_total()
+        start = sim.now
+        data = []
+        for worker_blocks in per_worker:
+            worker_data = []
+            for block in worker_blocks:
+                worker_data.append(
+                    (yield from client.random_read("coll", block))
+                )
+            data.append(worker_data)
+        return data, sim.now - start, efs_total() - before
+
+    flush_caches()
+    naive_data, naive_s, naive_reqs = system.run(naive_arm(), name="naive-arm")
+
+    def listio_arm():
+        yield from client.open("coll")
+        before = efs_total()
+        start = sim.now
+        data = []
+        for worker_blocks in per_worker:
+            data.append((yield from client.list_read("coll", worker_blocks)))
+        return data, sim.now - start, efs_total() - before
+
+    flush_caches()
+    listio_data, listio_s, listio_reqs = system.run(
+        listio_arm(), name="listio-arm"
+    )
+
+    def twophase_arm():
+        engine = TwoPhaseIO(system, "coll")
+        yield from engine.open()  # warm, like the other arms' open()
+        before = efs_total()
+        start = sim.now
+        data, stats = yield from engine.read(per_worker)
+        return data, sim.now - start, efs_total() - before, stats
+
+    flush_caches()
+    twophase_data, twophase_s, twophase_reqs, tp_stats = system.run(
+        twophase_arm(), name="twophase-arm"
+    )
+
+    model_tp = twophase_message_counts(per_worker, p)
+    return CollectiveRun(
+        p=p,
+        workers=len(per_worker),
+        blocks=blocks,
+        accesses=sum(len(b) for b in per_worker),
+        distinct_blocks=len({b for wb in per_worker for b in wb}),
+        pattern=pattern,
+        naive_seconds=naive_s,
+        naive_efs_requests=naive_reqs,
+        listio_seconds=listio_s,
+        listio_efs_requests=listio_reqs,
+        twophase_seconds=twophase_s,
+        twophase_efs_requests=twophase_reqs,
+        exchange_messages=tp_stats.exchange_messages,
+        redistribution_messages=tp_stats.redistribution_messages,
+        model_naive_requests=sum(naive_rpc_count(b) for b in per_worker),
+        model_listio_requests=sum(
+            listio_rpc_count(b, p) for b in per_worker
+        ),
+        model_twophase_requests=model_tp["efs_requests"],
+        model_redistribution_messages=model_tp["redistribution_messages"],
+        content_ok=(listio_data == naive_data and twophase_data == naive_data),
+    )
+
+
 def run_faults_experiment(p: int = 4, blocks: int = 16, seed: int = 0) -> FaultsRun:
     from repro.errors import DeviceFailedError
 

@@ -121,6 +121,63 @@ class FaultsRun:
 
 
 @dataclass
+class CollectiveRun:
+    """Noncontiguous-access ablation: naive vs list I/O vs two-phase (S17).
+
+    ``t`` workers each hold a noncontiguous read pattern over one shared
+    interleaved file.  The three arms move the same bytes; only the
+    request structure differs.  EFS request counts are measured as
+    ``requests_served`` deltas and paired with the analytic model's
+    predictions so tests can assert exact equality.
+    """
+
+    p: int
+    workers: int
+    blocks: int  # file size
+    accesses: int  # total accesses across workers (dups included)
+    distinct_blocks: int
+    pattern: str
+    naive_seconds: float
+    naive_efs_requests: int
+    listio_seconds: float
+    listio_efs_requests: int
+    twophase_seconds: float
+    twophase_efs_requests: int
+    exchange_messages: int
+    redistribution_messages: int
+    model_naive_requests: int
+    model_listio_requests: int
+    model_twophase_requests: int
+    model_redistribution_messages: int
+    content_ok: bool
+
+    @property
+    def listio_speedup(self) -> float:
+        return (
+            self.naive_seconds / self.listio_seconds
+            if self.listio_seconds > 0 else 0.0
+        )
+
+    @property
+    def twophase_speedup(self) -> float:
+        return (
+            self.naive_seconds / self.twophase_seconds
+            if self.twophase_seconds > 0 else 0.0
+        )
+
+    @property
+    def model_exact(self) -> bool:
+        """Measured message counts equal to the analytic model's."""
+        return (
+            self.naive_efs_requests == self.model_naive_requests
+            and self.listio_efs_requests == self.model_listio_requests
+            and self.twophase_efs_requests == self.model_twophase_requests
+            and self.redistribution_messages
+            == self.model_redistribution_messages
+        )
+
+
+@dataclass
 class RedundancyRun:
     """One redundancy scheme (none/mirror/parity) through the full
     fail -> degraded -> repair -> rebuild lifecycle (S16)."""

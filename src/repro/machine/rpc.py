@@ -172,7 +172,7 @@ class Client:
         return values
 
 
-def gather(node: Node, calls):
+def gather(node: Node, calls, max_in_flight: Optional[int] = None):
     """Issue many requests in parallel and collect replies in call order.
 
     ``calls`` is a list of ``(port, method, args_dict, size)`` tuples.
@@ -180,20 +180,59 @@ def gather(node: Node, calls):
     with their requests regardless of arrival order.  The generator
     completes when the *slowest* reply arrives; any error response is
     re-raised.  This is the fan-out primitive behind the Bridge Server's
-    parallel Create/Delete/Open/Read/Write.
+    parallel Create/Delete/Open/Read/Write and the list-I/O batch fan-out.
+
+    ``max_in_flight`` bounds the fan-out: at most that many requests are
+    outstanding at once, issued in windows (a wide machine can otherwise
+    flood a server's mailbox with hundreds of block requests at once).
+    ``None`` (the default) issues everything immediately.
+
+    A failed sub-call re-raises the server's error *with the originating
+    call attached*: the exception gains ``gather_port`` / ``gather_method``
+    / ``gather_index`` attributes (and a traceback note on Pythons that
+    support ``add_note``), so "disk failed" surfaces as "disk failed while
+    calling read on efs3@node3 (call #5 of 8)" instead of a bare error
+    with no hint which fan-out leg died.
     """
-    reply_ports = []
-    for port, method, args, size in calls:
-        reply_port = node.port()
-        node.send(port, Request(method, args, reply_port, size), size=size)
-        reply_ports.append(reply_port)
+    if max_in_flight is not None and max_in_flight < 1:
+        raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+    calls = list(calls)
+    if not calls:
+        return []
+    window = len(calls) if max_in_flight is None else max_in_flight
     values = []
-    for reply_port in reply_ports:
-        response = yield reply_port.recv()
-        if response.error is not None:
-            raise response.error
-        values.append(response.value)
+    for window_start in range(0, len(calls), window):
+        batch = calls[window_start:window_start + window]
+        reply_ports = []
+        for port, method, args, size in batch:
+            reply_port = node.port()
+            node.send(port, Request(method, args, reply_port, size), size=size)
+            reply_ports.append(reply_port)
+        for offset, reply_port in enumerate(reply_ports):
+            response = yield reply_port.recv()
+            if response.error is not None:
+                index = window_start + offset
+                port, method, _args, _size = calls[index]
+                raise _annotate_gather_error(
+                    response.error, port, method, index, len(calls)
+                )
+            values.append(response.value)
     return values
+
+
+def _annotate_gather_error(error: Exception, port: Port, method: str,
+                           index: int, total: int) -> Exception:
+    """Attach the originating call to a gathered error, preserving type."""
+    error.gather_port = port
+    error.gather_method = method
+    error.gather_index = index
+    note = (
+        f"while calling {method!r} on {port.name}@node{port.node.index} "
+        f"(gather call #{index} of {total})"
+    )
+    if hasattr(error, "add_note"):  # Python >= 3.11
+        error.add_note(note)
+    return error
 
 
 def oneway(node: Node, port: Port, method: str, size: int = 0, **args) -> None:

@@ -11,9 +11,12 @@ from repro.workloads.datagen import (
 )
 from repro.workloads.traces import (
     ReplayResult,
+    hotspot_pattern,
     random_trace,
     replay_trace,
+    scatter_pattern,
     sequential_trace,
+    strided_pattern,
     strided_trace,
     zipf_trace,
 )
@@ -37,9 +40,12 @@ __all__ = [
     "text_chunks",
     "uniform_keys",
     "ReplayResult",
+    "hotspot_pattern",
     "random_trace",
     "replay_trace",
+    "scatter_pattern",
     "sequential_trace",
+    "strided_pattern",
     "strided_trace",
     "zipf_trace",
 ]

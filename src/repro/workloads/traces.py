@@ -76,6 +76,83 @@ def zipf_trace(file_blocks: int, accesses: int, skew: float = 1.2,
     return trace
 
 
+# ---------------------------------------------------------------------------
+# Noncontiguous patterns (S17): block sets for list I/O & collective access
+# ---------------------------------------------------------------------------
+
+
+def strided_pattern(start: int, stride: int, count: int,
+                    run_length: int = 1) -> List[int]:
+    """Regular strided scatter: ``run_length`` blocks every ``stride``.
+
+    The canonical noncontiguous shape (a column walk over a row-major
+    matrix); feed it to ``ListIORequest.from_blocks`` or straight into
+    ``BridgeClient.list_read``.
+    """
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if run_length < 1:
+        raise ValueError(f"run_length must be >= 1, got {run_length}")
+    if start < 0:
+        raise ValueError(f"start must be >= 0, got {start}")
+    if run_length > stride:
+        raise ValueError(
+            f"run_length {run_length} exceeds stride {stride}: runs overlap"
+        )
+    return [
+        start + i * stride + j
+        for i in range(count)
+        for j in range(run_length)
+    ]
+
+
+def scatter_pattern(file_blocks: int, count: int, seed: int = 0) -> List[int]:
+    """Random scatter: ``count`` distinct blocks in ascending order.
+
+    The worst case for request coalescing — no adjacency to exploit —
+    which makes it the control arm of the list-I/O ablation.
+    """
+    if file_blocks < 1:
+        raise ValueError(f"file_blocks must be >= 1, got {file_blocks}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if count > file_blocks:
+        raise ValueError(
+            f"cannot pick {count} distinct blocks from {file_blocks}"
+        )
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(file_blocks), count))
+
+
+def hotspot_pattern(file_blocks: int, count: int, hot_fraction: float = 0.1,
+                    hot_weight: float = 0.9, seed: int = 0) -> List[int]:
+    """Hotspot scatter: most accesses land in a small hot region.
+
+    ``hot_fraction`` of the file receives ``hot_weight`` of the accesses
+    (duplicates allowed — the point is that list I/O dedups them while
+    the naive path pays per access).
+    """
+    if file_blocks < 1:
+        raise ValueError(f"file_blocks must be >= 1, got {file_blocks}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if not 0 < hot_fraction <= 1:
+        raise ValueError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    if not 0 <= hot_weight <= 1:
+        raise ValueError(f"hot_weight must be in [0, 1], got {hot_weight}")
+    hot_blocks = max(1, int(file_blocks * hot_fraction))
+    rng = random.Random(seed)
+    pattern = []
+    for _ in range(count):
+        if rng.random() < hot_weight:
+            pattern.append(rng.randrange(hot_blocks))
+        else:
+            pattern.append(rng.randrange(file_blocks))
+    return pattern
+
+
 @dataclass
 class ReplayResult:
     """Timing of one trace replay."""

@@ -1,0 +1,150 @@
+"""Unit tests for list-I/O descriptors: pure arithmetic, no simulation."""
+
+import pytest
+
+from repro.collective import Extent, ListIORequest, coalesce_blocks
+from repro.core.addressing import InterleaveMap
+
+
+# ---------------------------------------------------------------------------
+# Extent
+# ---------------------------------------------------------------------------
+
+
+def test_extent_blocks_and_stop():
+    extent = Extent(5, 3)
+    assert extent.stop == 8
+    assert list(extent.blocks()) == [5, 6, 7]
+
+
+@pytest.mark.parametrize("start,count", [(-1, 1), (0, 0), (3, -2)])
+def test_extent_validation(start, count):
+    with pytest.raises(ValueError):
+        Extent(start, count)
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+
+def test_contiguous():
+    request = ListIORequest.contiguous(4, 3)
+    assert request.block_list() == [4, 5, 6]
+    assert request.total_blocks == 3
+
+
+def test_strided_single_blocks():
+    request = ListIORequest.strided(start=1, stride=4, count=4)
+    assert request.block_list() == [1, 5, 9, 13]
+
+
+def test_strided_with_runs():
+    request = ListIORequest.strided(start=0, stride=5, count=3, run_length=2)
+    assert request.block_list() == [0, 1, 5, 6, 10, 11]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(start=0, stride=0, count=4),
+        dict(start=0, stride=4, count=0),
+        dict(start=0, stride=4, count=4, run_length=0),
+        dict(start=-1, stride=4, count=4),
+        dict(start=0, stride=2, count=4, run_length=3),  # overlapping runs
+    ],
+)
+def test_strided_validation(kwargs):
+    with pytest.raises(ValueError):
+        ListIORequest.strided(**kwargs)
+
+
+def test_vector():
+    request = ListIORequest.vector([9, 2, 30], run_length=2)
+    assert request.block_list() == [9, 10, 2, 3, 30, 31]
+
+
+def test_vector_validation():
+    with pytest.raises(ValueError):
+        ListIORequest.vector([])
+    with pytest.raises(ValueError):
+        ListIORequest.vector([1, 2], run_length=0)
+
+
+def test_from_blocks_coalesces_maximal_extents():
+    request = ListIORequest.from_blocks([0, 1, 2, 5, 6, 9])
+    assert request.extents == (Extent(0, 3), Extent(5, 2), Extent(9, 1))
+    assert request.block_list() == [0, 1, 2, 5, 6, 9]
+
+
+def test_from_blocks_empty_rejected():
+    with pytest.raises(ValueError):
+        ListIORequest.from_blocks([])
+
+
+def test_tuples_accepted_as_extents():
+    request = ListIORequest([(0, 2), (7, 1)])
+    assert request.extents == (Extent(0, 2), Extent(7, 1))
+
+
+# ---------------------------------------------------------------------------
+# Inspection
+# ---------------------------------------------------------------------------
+
+
+def test_min_max_and_len():
+    request = ListIORequest([(10, 2), (3, 4)])
+    assert request.min_block == 3
+    assert request.max_block == 11
+    assert len(request) == 2
+
+
+def test_duplicates_preserved_in_request_order():
+    request = ListIORequest([(5, 2), (5, 2)])
+    assert request.block_list() == [5, 6, 5, 6]
+    assert request.total_blocks == 4
+
+
+def test_equality_and_hash():
+    a = ListIORequest.strided(0, 4, 3)
+    b = ListIORequest([(0, 1), (4, 1), (8, 1)])
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+# ---------------------------------------------------------------------------
+# Decomposition
+# ---------------------------------------------------------------------------
+
+
+def test_decompose_groups_by_slot():
+    imap = InterleaveMap(4)
+    request = ListIORequest.contiguous(0, 8)
+    decomposed = request.decompose(imap)
+    assert decomposed == {0: [0, 1], 1: [0, 1], 2: [0, 1], 3: [0, 1]}
+
+
+def test_decompose_deduplicates_and_sorts():
+    imap = InterleaveMap(2)
+    request = ListIORequest([(6, 1), (2, 1), (6, 1), (0, 1)])
+    assert request.decompose(imap) == {0: [0, 1, 3]}
+
+
+def test_decompose_respects_start_slot():
+    imap = InterleaveMap(4, start=2)
+    request = ListIORequest.contiguous(0, 4)
+    assert sorted(request.decompose(imap)) == [0, 1, 2, 3]
+    assert request.decompose(imap)[2] == [0]  # block 0 on slot (0+2) % 4
+
+
+def test_slots_touched_strided_alignment():
+    # Stride == width: every access lands on one slot.
+    imap = InterleaveMap(8)
+    request = ListIORequest.strided(3, 8, 32)
+    assert request.slots_touched(imap) == [3]
+
+
+def test_coalesce_blocks_runs():
+    assert coalesce_blocks([]) == []
+    assert coalesce_blocks([4]) == [Extent(4, 1)]
+    assert coalesce_blocks([1, 2, 3, 7, 8]) == [Extent(1, 3), Extent(7, 2)]

@@ -1,0 +1,274 @@
+"""Two-phase collective I/O: equivalence with the naive view, exact
+message accounting, and conflict semantics."""
+
+import random
+
+import pytest
+
+from repro.analysis.models import twophase_message_counts
+from repro.collective import ListIORequest, TwoPhaseIO, elect_aggregators
+from repro.core.addressing import InterleaveMap
+from repro.errors import BridgeBadRequestError, ProcessError
+from repro.harness.builders import BridgeSystem
+from repro.storage import FixedLatency
+from repro.config import DATA_BYTES_PER_BLOCK
+from repro.workloads import build_file, pattern_chunks
+
+
+def padded_chunks(count, stamp=b"BLK"):
+    """pattern_chunks padded to the full data area: EFS reads always
+    return the zero-padded 960-byte data area, so full-size chunks make
+    exact equality comparisons valid."""
+    return [
+        chunk.ljust(DATA_BYTES_PER_BLOCK, b"\x00")
+        for chunk in pattern_chunks(count, stamp=stamp)
+    ]
+
+
+def make_system(p=4, seed=7):
+    return BridgeSystem(p, seed=seed, disk_latency=FixedLatency(0.0001))
+
+
+def payload(tag: int) -> bytes:
+    return bytes([tag % 251]) * 960
+
+
+# ---------------------------------------------------------------------------
+# Election
+# ---------------------------------------------------------------------------
+
+
+def test_elect_aggregators_one_per_touched_slot():
+    imap = InterleaveMap(4)
+    assignment = elect_aggregators(imap, [[0, 4, 8], [1, 2]])
+    assert sorted(assignment) == [0, 1, 2]
+    assert assignment[0] == {0: [0, 4, 8]}
+    assert assignment[1] == {1: [1]}
+    assert assignment[2] == {1: [2]}
+
+
+def test_elect_aggregators_dedups_per_worker_keeps_order():
+    imap = InterleaveMap(2)
+    assignment = elect_aggregators(imap, [[6, 2, 6, 0]])
+    assert assignment == {0: {0: [6, 2, 0]}}
+
+
+# ---------------------------------------------------------------------------
+# Collective read
+# ---------------------------------------------------------------------------
+
+
+def test_read_matches_naive_view():
+    system = make_system()
+    blocks = 32
+    chunks = padded_chunks(blocks)
+    build_file(system, "f", chunks)
+    engine = TwoPhaseIO(system, "f")
+    per_worker = [[0, 4, 8], [1, 5, 2], [31, 30, 29]]
+
+    def body():
+        return (yield from engine.read(per_worker))
+
+    data, stats = system.run(body())
+    assert data == [[chunks[b] for b in wb] for wb in per_worker]
+    assert stats.workers == 3
+
+
+def test_read_accepts_listio_patterns():
+    system = make_system()
+    chunks = padded_chunks(16)
+    build_file(system, "f", chunks)
+    engine = TwoPhaseIO(system, "f")
+    patterns = [ListIORequest.strided(0, 4, 4), ListIORequest.contiguous(1, 3)]
+
+    def body():
+        return (yield from engine.read(patterns))
+
+    data, _stats = system.run(body())
+    assert data[0] == [chunks[b] for b in (0, 4, 8, 12)]
+    assert data[1] == [chunks[b] for b in (1, 2, 3)]
+
+
+def test_read_randomized_equivalence():
+    rng = random.Random(1234)
+    system = make_system(p=5, seed=9)
+    blocks = 60
+    chunks = padded_chunks(blocks)
+    build_file(system, "f", chunks)
+    engine = TwoPhaseIO(system, "f")
+    per_worker = [
+        [rng.randrange(blocks) for _ in range(rng.randint(1, 20))]
+        for _ in range(4)
+    ]
+
+    def body():
+        return (yield from engine.read(per_worker))
+
+    data, stats = system.run(body())
+    # Byte-identical to the naive view, duplicates and order preserved.
+    assert data == [[chunks[b] for b in wb] for wb in per_worker]
+    # Message counts equal the analytic model exactly.
+    model = twophase_message_counts(per_worker, 5)
+    assert stats.aggregators == model["aggregators"]
+    assert stats.efs_requests == model["efs_requests"]
+    assert stats.exchange_messages == model["exchange_messages"]
+    assert stats.redistribution_messages == model["redistribution_messages"]
+
+
+def test_read_stats_one_efs_request_per_slot():
+    system = make_system()
+    build_file(system, "f", padded_chunks(16))
+    engine = TwoPhaseIO(system, "f")
+
+    def warm():
+        yield from engine.open()
+
+    system.run(warm())
+    before = sum(s.requests_served for s in system.efs_servers)
+
+    def body():
+        return (yield from engine.read([[0, 4], [1, 2, 3]]))
+
+    _data, stats = system.run(body())
+    measured = sum(s.requests_served for s in system.efs_servers) - before
+    assert measured == stats.efs_requests == 4  # slots {0}, {1, 2, 3}
+
+
+def test_read_rejects_out_of_bounds():
+    system = make_system()
+    build_file(system, "f", padded_chunks(8))
+    engine = TwoPhaseIO(system, "f")
+
+    def body():
+        yield from engine.read([[0, 8]])
+
+    with pytest.raises(ProcessError) as excinfo:
+        system.run(body())
+    assert isinstance(excinfo.value.__cause__, BridgeBadRequestError)
+
+
+def test_read_rejects_zero_workers():
+    system = make_system()
+    build_file(system, "f", padded_chunks(8))
+    engine = TwoPhaseIO(system, "f")
+
+    def body():
+        yield from engine.read([])
+
+    with pytest.raises(ProcessError) as excinfo:
+        system.run(body())
+    assert isinstance(excinfo.value.__cause__, BridgeBadRequestError)
+
+
+# ---------------------------------------------------------------------------
+# Collective write
+# ---------------------------------------------------------------------------
+
+
+def test_write_in_place_and_append():
+    system = make_system()
+    chunks = padded_chunks(10)
+    build_file(system, "f", chunks)
+    engine = TwoPhaseIO(system, "f")
+    client = system.naive_client()
+    writes = [
+        [(2, payload(1)), (10, payload(2))],
+        [(7, payload(3)), (11, payload(4))],
+    ]
+
+    def body():
+        new_total, stats = yield from engine.write(writes)
+        data = yield from client.list_read("f", [2, 7, 10, 11])
+        return new_total, stats, data
+
+    new_total, stats, data = system.run(body())
+    assert new_total == 12
+    assert data == [payload(1), payload(3), payload(2), payload(4)]
+    assert stats.efs_requests == stats.aggregators
+
+
+def test_write_randomized_equivalence():
+    """Random collective writes produce exactly the file a sequential
+    worker-by-worker replay of the same writes would."""
+    rng = random.Random(99)
+    system = make_system(p=4, seed=3)
+    blocks = 24
+    chunks = padded_chunks(blocks)
+    build_file(system, "f", chunks)
+    engine = TwoPhaseIO(system, "f")
+    client = system.naive_client()
+    worker_writes = []
+    tag = 0
+    for _worker in range(3):
+        writes = []
+        for _ in range(rng.randint(1, 8)):
+            writes.append((rng.randrange(blocks), payload(tag)))
+            tag += 1
+        worker_writes.append(writes)
+    # Reference: replay in worker order (later workers win conflicts).
+    reference = list(chunks)
+    for writes in worker_writes:
+        for block, data in writes:
+            reference[block] = data
+
+    def body():
+        yield from engine.write(worker_writes)
+        return (yield from client.list_read("f", list(range(blocks))))
+
+    assert system.run(body()) == reference
+
+
+def test_write_conflict_higher_worker_wins():
+    system = make_system()
+    build_file(system, "f", padded_chunks(8))
+    engine = TwoPhaseIO(system, "f")
+    client = system.naive_client()
+
+    def body():
+        yield from engine.write(
+            [[(5, payload(10))], [(5, payload(20))], [(5, payload(30))]]
+        )
+        return (yield from client.list_read("f", [5]))
+
+    assert system.run(body()) == [payload(30)]
+
+
+def test_write_rejects_sparse_append():
+    system = make_system()
+    build_file(system, "f", padded_chunks(8))
+    engine = TwoPhaseIO(system, "f")
+
+    def body():
+        yield from engine.write([[(10, payload(1))]])  # hole at 8, 9
+
+    with pytest.raises(ProcessError) as excinfo:
+        system.run(body())
+    assert isinstance(excinfo.value.__cause__, BridgeBadRequestError)
+
+
+def test_write_empty_write_lists_is_noop():
+    system = make_system()
+    build_file(system, "f", padded_chunks(8))
+    engine = TwoPhaseIO(system, "f")
+
+    def body():
+        return (yield from engine.write([[], []]))
+
+    new_total, stats = system.run(body())
+    assert new_total == 8
+    assert stats.aggregators == 0
+
+
+def test_write_resyncs_bridge_directory_after_append():
+    system = make_system()
+    build_file(system, "f", padded_chunks(4))
+    engine = TwoPhaseIO(system, "f")
+    client = system.naive_client()
+
+    def body():
+        yield from engine.write([[(4, payload(1)), (5, payload(2))]])
+        # The naive view must see the appended blocks immediately.
+        opened = yield from client.open("f")
+        return opened.total_blocks
+
+    assert system.run(body()) == 6

@@ -91,6 +91,73 @@ def test_gather_empty_calls():
     assert sim.run_process(body()) == []
 
 
+def test_gather_error_carries_originating_call():
+    """A failed fan-out leg names the port, method, and call index."""
+    sim, machine = make_machine(3)
+    ok = SlowServer(machine.node(0), "ok")
+    bad = SlowServer(machine.node(1), "bad")
+
+    def body():
+        calls = [
+            (ok.port, "work", {"delay": 0.0, "tag": "a"}, 0),
+            (bad.port, "fail", {"message": "disk died"}, 0),
+            (ok.port, "work", {"delay": 0.0, "tag": "b"}, 0),
+        ]
+        try:
+            yield from gather(machine.node(2), calls)
+        except RuntimeError as exc:
+            return exc
+
+    error = sim.run_process(body())
+    assert isinstance(error, RuntimeError)  # original type preserved
+    assert error.gather_port is bad.port
+    assert error.gather_method == "fail"
+    assert error.gather_index == 1
+    if hasattr(error, "__notes__"):  # Python >= 3.11
+        assert any("bad@node1" in note for note in error.__notes__)
+        assert any("#1 of 3" in note for note in error.__notes__)
+
+
+def test_gather_max_in_flight_windows_requests():
+    """With a window of 1 the calls serialize; unbounded they overlap."""
+    sim, machine = make_machine(3)
+    servers = [SlowServer(machine.node(i), f"s{i}") for i in (0, 1)]
+
+    def run_gather(limit):
+        def body():
+            start = sim.now
+            calls = [
+                (servers[0].port, "work", {"delay": 0.05, "tag": "a"}, 0),
+                (servers[1].port, "work", {"delay": 0.05, "tag": "b"}, 0),
+            ]
+            values = yield from gather(
+                machine.node(2), calls, max_in_flight=limit
+            )
+            return values, sim.now - start
+
+        return sim.run_process(body())
+
+    values, bounded_elapsed = run_gather(1)
+    assert values == ["a", "b"]
+    values, unbounded_elapsed = run_gather(None)
+    assert values == ["a", "b"]
+    # Two 50 ms calls: serialized >= 100 ms, overlapped ~ 50 ms.
+    assert bounded_elapsed >= 0.1
+    assert unbounded_elapsed < 0.1
+
+
+def test_gather_max_in_flight_validation():
+    sim, machine = make_machine(1)
+
+    def body():
+        yield from gather(machine.node(0), [], max_in_flight=0)
+
+    with pytest.raises(Exception) as excinfo:
+        sim.run_process(body())
+    cause = excinfo.value.__cause__ or excinfo.value
+    assert isinstance(cause, ValueError)
+
+
 # ---------------------------------------------------------------------------
 # Detached handlers
 # ---------------------------------------------------------------------------

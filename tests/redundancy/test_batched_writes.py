@@ -1,0 +1,166 @@
+"""Parity through the batched write path: full-stripe loads stay
+fsck-clean and survive a failure exactly like single-block writes."""
+
+import pytest
+
+from repro.efs.fsck import check_system
+from repro.faults import FaultInjector
+from repro.harness.builders import BridgeSystem
+from repro.storage import FixedLatency
+from repro.config import DATA_BYTES_PER_BLOCK
+from repro.workloads import pattern_chunks
+
+
+def padded_chunks(count, stamp=b"BLK"):
+    """pattern_chunks padded to the full data area: EFS reads always
+    return the zero-padded 960-byte data area, so full-size chunks make
+    exact equality comparisons valid."""
+    return [
+        chunk.ljust(DATA_BYTES_PER_BLOCK, b"\x00")
+        for chunk in pattern_chunks(count, stamp=stamp)
+    ]
+
+
+def make_system(p=5, seed=17):
+    return BridgeSystem(
+        p, seed=seed, disk_latency=FixedLatency(0.0001), redundancy="parity"
+    )
+
+
+def load(system, chunks, batched=True):
+    pfile = system.redundant_file("pf")
+
+    def body():
+        yield from pfile.create()
+        if batched:
+            yield from pfile.write_all_batched(chunks)
+        else:
+            yield from pfile.write_all(chunks)
+
+    system.run(body())
+    return pfile
+
+
+def test_batched_load_roundtrip_and_fsck():
+    system = make_system()
+    chunks = padded_chunks(16)  # 4 full stripes at p=5
+    pfile = load(system, chunks)
+
+    def read():
+        return (yield from pfile.read_all())
+
+    data, _stats = system.run(read())
+    assert data == chunks
+    assert all(report.clean for report in check_system(system))
+
+
+def test_batched_load_skips_rmw_and_batches_requests():
+    system = make_system()
+    chunks = padded_chunks(16)
+    before = sum(s.requests_served for s in system.efs_servers)
+    pfile = load(system, chunks)
+    served = sum(s.requests_served for s in system.efs_servers) - before
+    assert pfile.parity_rmw_reads == 0
+    # Create costs p EFS creates + p info probes are charged by open/create
+    # paths; the batched load itself is exactly p write_blocks requests.
+    # Measure it directly instead: reload into a fresh system.
+    system2 = make_system(seed=23)
+    pfile2 = system2.redundant_file("pf")
+
+    def body():
+        yield from pfile2.create()
+
+    system2.run(body())
+    before = sum(s.requests_served for s in system2.efs_servers)
+
+    def batch():
+        yield from pfile2.write_all_batched(chunks)
+
+    system2.run(batch())
+    served = sum(s.requests_served for s in system2.efs_servers) - before
+    assert served == system2.width  # one batched request per constituent
+
+
+def test_batched_load_matches_single_block_content():
+    chunks = padded_chunks(12)
+    batched = make_system(seed=31)
+    single = make_system(seed=31)
+    pf_batched = load(batched, chunks, batched=True)
+    pf_single = load(single, chunks, batched=False)
+
+    def read(pfile):
+        def body():
+            return (yield from pfile.read_all())
+        return body
+
+    data_batched, _ = batched.run(read(pf_batched)())
+    data_single, _ = single.run(read(pf_single)())
+    assert data_batched == data_single == chunks
+
+
+def test_batched_load_survives_single_failure():
+    system = make_system()
+    chunks = padded_chunks(20)
+    pfile = load(system, chunks)
+    for efs in system.efs_servers:
+        system.run(efs.cache.flush())
+        efs.cache.invalidate_all()
+    FaultInjector(system).fail_slot(2)
+
+    def read():
+        return (yield from pfile.read_all())
+
+    data, stats = system.run(read())
+    assert data == chunks
+    assert stats.degraded > 0  # reconstruction actually happened
+
+
+def test_batched_load_partial_final_stripe():
+    system = make_system()  # p=5 -> 4 data blocks per stripe
+    chunks = padded_chunks(6)  # 1.5 stripes
+    pfile = load(system, chunks)
+
+    def read():
+        return (yield from pfile.read_all())
+
+    data, _stats = system.run(read())
+    assert data == chunks
+    assert all(report.clean for report in check_system(system))
+
+
+def test_batched_load_rejects_mid_stripe_start():
+    system = make_system()
+    pfile = system.redundant_file("pf")
+
+    def body():
+        yield from pfile.create()
+        yield from pfile.write_all(padded_chunks(3))  # mid-stripe (4/stripe)
+        yield from pfile.write_all_batched(padded_chunks(4))
+
+    with pytest.raises(Exception) as excinfo:
+        system.run(body())
+    cause = excinfo.value.__cause__ or excinfo.value
+    assert isinstance(cause, ValueError)
+
+
+def test_batched_load_then_single_block_updates_keep_parity():
+    """RMW updates on top of a batched load still reconstruct correctly."""
+    system = make_system()
+    chunks = padded_chunks(8)
+    pfile = load(system, chunks)
+    new_data = b"\x7f" * 960
+
+    def update():
+        yield from pfile.write_block(3, new_data)
+
+    system.run(update())
+    for efs in system.efs_servers:
+        system.run(efs.cache.flush())
+        efs.cache.invalidate_all()
+    _stripe, slot = pfile.geometry.locate(3)
+    FaultInjector(system).fail_slot(slot)
+
+    def read():
+        return (yield from pfile.read_block(3))
+
+    assert system.run(read()) == new_data

@@ -1,0 +1,100 @@
+"""Noncontiguous pattern generators (S17): shapes and validation."""
+
+import pytest
+
+from repro.workloads import hotspot_pattern, scatter_pattern, strided_pattern
+
+
+# ---------------------------------------------------------------------------
+# strided_pattern
+# ---------------------------------------------------------------------------
+
+
+def test_strided_pattern_single_blocks():
+    assert strided_pattern(0, 4, 4) == [0, 4, 8, 12]
+
+
+def test_strided_pattern_runs():
+    assert strided_pattern(1, 5, 3, run_length=2) == [1, 2, 6, 7, 11, 12]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(start=0, stride=0, count=4),
+        dict(start=0, stride=-2, count=4),
+        dict(start=0, stride=4, count=0),
+        dict(start=0, stride=4, count=-1),
+        dict(start=0, stride=4, count=4, run_length=0),
+        dict(start=-1, stride=4, count=4),
+        dict(start=0, stride=2, count=4, run_length=3),
+    ],
+)
+def test_strided_pattern_validation(kwargs):
+    with pytest.raises(ValueError):
+        strided_pattern(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# scatter_pattern
+# ---------------------------------------------------------------------------
+
+
+def test_scatter_pattern_distinct_sorted_in_bounds():
+    pattern = scatter_pattern(100, 30, seed=5)
+    assert len(pattern) == 30
+    assert len(set(pattern)) == 30
+    assert pattern == sorted(pattern)
+    assert all(0 <= block < 100 for block in pattern)
+
+
+def test_scatter_pattern_deterministic_by_seed():
+    assert scatter_pattern(64, 16, seed=3) == scatter_pattern(64, 16, seed=3)
+    assert scatter_pattern(64, 16, seed=3) != scatter_pattern(64, 16, seed=4)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(file_blocks=0, count=1),
+        dict(file_blocks=10, count=0),
+        dict(file_blocks=10, count=11),
+    ],
+)
+def test_scatter_pattern_validation(kwargs):
+    with pytest.raises(ValueError):
+        scatter_pattern(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# hotspot_pattern
+# ---------------------------------------------------------------------------
+
+
+def test_hotspot_pattern_concentrates_accesses():
+    pattern = hotspot_pattern(1000, 500, hot_fraction=0.1, hot_weight=0.9,
+                              seed=11)
+    assert len(pattern) == 500
+    in_hot = sum(1 for block in pattern if block < 100)
+    assert in_hot > 400  # ~90% + the uniform tail's spillover
+
+
+def test_hotspot_pattern_bounds():
+    pattern = hotspot_pattern(50, 200, seed=2)
+    assert all(0 <= block < 50 for block in pattern)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(file_blocks=0, count=1),
+        dict(file_blocks=10, count=0),
+        dict(file_blocks=10, count=5, hot_fraction=0.0),
+        dict(file_blocks=10, count=5, hot_fraction=1.5),
+        dict(file_blocks=10, count=5, hot_weight=-0.1),
+        dict(file_blocks=10, count=5, hot_weight=1.1),
+    ],
+)
+def test_hotspot_pattern_validation(kwargs):
+    with pytest.raises(ValueError):
+        hotspot_pattern(**kwargs)
