@@ -167,6 +167,79 @@ def twophase_message_counts(
 
 
 # ---------------------------------------------------------------------------
+# Pipelined naive read (S18)
+# ---------------------------------------------------------------------------
+#
+# With the Bridge block cache and striped read-ahead enabled, the
+# naive-view hot loop turns client-bound: every steady-state read is a
+# cache hit whose cost is pure message plus hit-CPU time — an exact
+# closed form the simulator reproduces delta-for-delta (each successive
+# block completes exactly ``pipelined_hit_seconds`` after the previous
+# one once the stream is recognized and the pipeline is primed).
+
+
+def pipelined_hit_seconds(config=None) -> float:
+    """Exact steady-state latency of one cached naive-view read.
+
+    Request message to the Bridge node + cache-hit CPU + response
+    message carrying one block's 960-byte data area.  No directory
+    consult, no EFS traffic — that is the whole point of the pipeline.
+    """
+    from repro.config import DATA_BYTES_PER_BLOCK, DEFAULT_CONFIG
+
+    cfg = config or DEFAULT_CONFIG
+    return (
+        cfg.messages.remote_latency          # client -> bridge request
+        + cfg.cpu.bridge_cache_hit           # hash probe + LRU touch
+        + cfg.messages.remote_latency        # bridge -> client response
+        + DATA_BYTES_PER_BLOCK * cfg.messages.per_byte
+    )
+
+
+def pipelined_supply_seconds_per_block(config=None,
+                                       disk_latency: float = 0.015) -> float:
+    """Average per-block service time of one LFS streaming sequentially
+    to the prefetcher: one track-buffer disk read amortized over
+    ``efs_track_buffer_blocks``, per-request EFS CPU, and the
+    request/response messages of the (per-slot serial) fetch chain."""
+    from repro.config import DATA_BYTES_PER_BLOCK, DEFAULT_CONFIG
+
+    cfg = config or DEFAULT_CONFIG
+    track = max(1, cfg.efs_track_buffer_blocks)
+    return (
+        disk_latency / track
+        + cfg.cpu.efs_request
+        + cfg.cpu.efs_cache_hit
+        + 2 * cfg.messages.remote_latency
+        + DATA_BYTES_PER_BLOCK * cfg.messages.per_byte
+    )
+
+
+def pipelined_client_bound(width: int, config=None,
+                           disk_latency: float = 0.015) -> bool:
+    """True when the pipelined stream is limited by the client round
+    trip: the p constituents together supply blocks at least as fast as
+    the client consumes cache hits."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    supply = pipelined_supply_seconds_per_block(config, disk_latency) / width
+    return supply <= pipelined_hit_seconds(config)
+
+
+def pipelined_read_seconds(file_blocks: int, width: int, config=None,
+                           disk_latency: float = 0.015) -> float:
+    """Closed-form time for an n-block pipelined sequential read: every
+    block costs the slower of the client hit path and the per-LFS supply
+    rate spread over p constituents (exact in the client-bound regime,
+    which holds for the paper configuration at every p >= 1)."""
+    if file_blocks < 0:
+        raise ValueError("file_blocks must be >= 0")
+    hit = pipelined_hit_seconds(config)
+    supply = pipelined_supply_seconds_per_block(config, disk_latency) / width
+    return file_blocks * max(hit, supply)
+
+
+# ---------------------------------------------------------------------------
 # Fitting helpers
 # ---------------------------------------------------------------------------
 

@@ -91,6 +91,11 @@ class CpuCosts:
     #: Persistent Bridge directory update (Create/Delete write the entry
     #: through to the server's metadata storage; two device writes).
     bridge_directory_update: float = 60.0 * MS
+    #: Serving a naive-view block out of the Bridge Server's own block
+    #: cache (S18): a hash probe and an LRU touch, no EFS message and no
+    #: directory/metadata work — charged *instead of* ``bridge_request``
+    #: on the hit path.
+    bridge_cache_hit: float = 0.2 * MS
     #: Tool worker per-record handling (format/compare/copy).
     tool_record: float = 1.0 * MS
     #: One key comparison during in-core sorting.
@@ -127,6 +132,17 @@ class SystemConfig:
     #: or flush; durability is traded for latency, exactly as in a real
     #: write-behind file system.
     efs_write_behind: bool = False
+    #: S18 striped read-ahead window, in stripes: once the Bridge Server
+    #: recognizes a sequential stream it keeps ``prefetch_window * p``
+    #: blocks in flight or cached ahead of the reader (window 1 = one
+    #: block per constituent, the geometry's natural unit).  0 disables
+    #: read-ahead entirely — the seed configuration, reproducing the
+    #: paper's serial naive path exactly.
+    prefetch_window: int = 0
+    #: Capacity of the Bridge Server's block cache, in blocks.  0 disables
+    #: the cache (seed behavior) unless ``prefetch_window > 0``, in which
+    #: case the builders auto-size it to ``4 * prefetch_window * p``.
+    bridge_cache_blocks: int = 0
 
     def with_changes(self, **changes) -> "SystemConfig":
         """A copy of this config with the given fields replaced."""

@@ -6,6 +6,7 @@ machinery.
 """
 
 from repro.core.addressing import InterleaveMap
+from repro.core.cache import BridgeBlockCache
 from repro.core.client import BridgeClient
 from repro.core.directory import BridgeDirectory, BridgeFileEntry
 from repro.core.disorder import ReorganizeResult, reorganize, scatter_quality
@@ -18,11 +19,13 @@ from repro.core.parallel import (
     ParallelWorker,
 )
 from repro.core.partitioned import PartitionedBridge, PartitionedClient, partition_of
+from repro.core.prefetch import Prefetcher, SequentialDetector
 from repro.core.relay import RelayServer
 from repro.core.server import BridgeServer
 
 __all__ = [
     "BlockDelivery",
+    "BridgeBlockCache",
     "BridgeClient",
     "BridgeDirectory",
     "BridgeFileEntry",
@@ -38,7 +41,9 @@ __all__ = [
     "ReorganizeResult",
     "OpenResult",
     "ParallelWorker",
+    "Prefetcher",
     "RelayServer",
+    "SequentialDetector",
     "SystemInfo",
     "partition_of",
     "reorganize",

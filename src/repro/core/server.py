@@ -27,9 +27,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import BLOCK_SIZE, DATA_BYTES_PER_BLOCK, SystemConfig
+from repro.core.cache import BridgeBlockCache
 from repro.core.directory import BridgeDirectory, BridgeFileEntry
 from repro.core.info import ConstituentInfo, LFSHandle, OpenResult, SystemInfo
 from repro.core.parallel import BlockDelivery, Deposit, JobInfo
+from repro.core.prefetch import Prefetcher
 from repro.efs.layout import NULL_ADDR
 from repro.errors import BridgeBadRequestError, BridgeJobError
 from repro.machine import Port, Response, Server, gather
@@ -76,6 +78,21 @@ class BridgeServer(Server):
         self._hints: Dict[Tuple[str, int], int] = {}
         self._jobs: Dict[int, _Job] = {}
         self._next_job_id = 1
+        # S18: server-side block cache + striped read-ahead.  Both off by
+        # default (cache-off reproduces the paper's timings exactly); a
+        # prefetch window without an explicit cache size auto-sizes the
+        # cache to hold a few windows per constituent.
+        cache_blocks = config.bridge_cache_blocks
+        if config.prefetch_window > 0 and cache_blocks <= 0:
+            cache_blocks = 4 * config.prefetch_window * len(self.lfs)
+        self._cache: Optional[BridgeBlockCache] = (
+            BridgeBlockCache(cache_blocks) if cache_blocks > 0 else None
+        )
+        self._prefetcher: Optional[Prefetcher] = (
+            Prefetcher(self, self._cache, config.prefetch_window)
+            if config.prefetch_window > 0 and self._cache is not None
+            else None
+        )
 
     # ==================================================================
     # File management (the monitor)
@@ -131,6 +148,11 @@ class BridgeServer(Server):
         self.directory.insert(entry)
         yield Timeout(self.config.cpu.bridge_directory_update)
         self._cursors[name] = 0
+        if self._cache is not None:
+            # Name reuse after delete: nothing cached may survive.
+            self._cache.invalidate_file(name)
+        if self._prefetcher is not None:
+            self._prefetcher.forget(name)
         return file_id
 
     def _create_sequential(self, slots, args_per_slot):
@@ -185,6 +207,10 @@ class BridgeServer(Server):
         self._cursors.pop(name, None)
         for slot in range(entry.width):
             self._hints.pop((name, slot), None)
+        if self._cache is not None:
+            self._cache.invalidate_file(name)
+        if self._prefetcher is not None:
+            self._prefetcher.forget(name)
 
         def reap():
             calls = [
@@ -264,7 +290,25 @@ class BridgeServer(Server):
         *forwarded* (detached), so the central server only spends routing
         time per request — "the Bridge Server transparently forwards
         requests to the appropriate LFS" (section 4.1).
+
+        With the S18 cache/prefetch pipeline enabled, the cursor stream
+        is recognized as sequential and the next ``prefetch_window * p``
+        blocks are fetched asynchronously from all constituents; cache
+        hits are answered in-line for ``bridge_cache_hit`` (a hash probe
+        and LRU touch instead of the full request decode + directory
+        consult + EFS round trip).
         """
+        if self._cache is not None:
+            entry = self.directory.lookup(name)
+            cursor = self._cursors.get(name, 0)
+            if cursor < entry.total_blocks:
+                if self._prefetcher is not None:
+                    self._prefetcher.observe(entry, name, cursor)
+                data = self._cache.lookup(name, cursor)
+                if data is not None:
+                    self._cursors[name] = cursor + 1
+                    yield Timeout(self.config.cpu.bridge_cache_hit)
+                    return Response(value=(cursor, data), size=len(data))
         yield Timeout(self.config.cpu.bridge_request)
         entry = self.directory.lookup(name)
         cursor = self._cursors.get(name, 0)
@@ -273,7 +317,7 @@ class BridgeServer(Server):
         self._cursors[name] = cursor + 1
 
         def forward():
-            data = yield from self._read_global(entry, name, cursor)
+            data = yield from self._read_global_cached(entry, name, cursor)
             return Response(value=(cursor, data), size=len(data))
 
         from repro.machine.rpc import Detached
@@ -285,12 +329,31 @@ class BridgeServer(Server):
         yield Timeout(self.config.cpu.bridge_request)
         entry = self.directory.lookup(name)
         block = entry.total_blocks
+        if self._cache is not None:
+            # Invalidate *before* the EFS write goes out so an in-flight
+            # read of the old value can never install stale data later.
+            self._cache.invalidate_block(name, block)
         yield from self._write_global(entry, name, block, data)
         entry.total_blocks = block + 1
         return block
 
     def op_random_read(self, name, block_number):
-        """Random read; the LFS transfer is forwarded like op_seq_read."""
+        """Random read; the LFS transfer is forwarded like op_seq_read.
+
+        Consecutive random reads count toward stream recognition (S18),
+        so a client walking a file with ``random_read`` also triggers
+        the striped read-ahead pipeline once the pattern is sequential;
+        hits pay ``bridge_cache_hit`` instead of the full request charge.
+        """
+        if self._cache is not None:
+            entry = self.directory.lookup(name)
+            if 0 <= block_number < entry.total_blocks:
+                if self._prefetcher is not None:
+                    self._prefetcher.observe(entry, name, block_number)
+                data = self._cache.lookup(name, block_number)
+                if data is not None:
+                    yield Timeout(self.config.cpu.bridge_cache_hit)
+                    return Response(value=data, size=len(data))
         yield Timeout(self.config.cpu.bridge_request)
         entry = self.directory.lookup(name)
         if not 0 <= block_number < entry.total_blocks:
@@ -300,7 +363,7 @@ class BridgeServer(Server):
             )
 
         def forward():
-            data = yield from self._read_global(entry, name, block_number)
+            data = yield from self._read_global_cached(entry, name, block_number)
             return Response(value=data, size=len(data))
 
         from repro.machine.rpc import Detached
@@ -323,6 +386,8 @@ class BridgeServer(Server):
                 f"{name!r}: block {block_number} outside writable range "
                 f"[0, {entry.total_blocks}]"
             )
+        if self._cache is not None:
+            self._cache.invalidate_block(name, block_number)
         yield from self._write_global(entry, name, block_number, data)
         if block_number == entry.total_blocks:
             entry.total_blocks += 1
@@ -429,6 +494,9 @@ class BridgeServer(Server):
                     f"{name!r}: write of {len(data)} bytes exceeds data "
                     f"area {DATA_BYTES_PER_BLOCK}"
                 )
+        if self._cache is not None:
+            for block, _data in writes:
+                self._cache.invalidate_block(name, block)
         per_slot: Dict[int, List[Tuple[int, bytes]]] = {}
         for block, data in writes:
             slot, local = entry.interleave.locate(block)
@@ -484,6 +552,10 @@ class BridgeServer(Server):
         job = self._job(job_id)
         entry = job.entry
         t = len(job.worker_ports)
+        if self._prefetcher is not None:
+            # S18 double buffering: start fetching the *next* delivery's
+            # stripe while this one is read and shipped to the workers.
+            self._prefetcher.top_up(entry, entry.name, job.cursor + t, depth=t)
         delivered = 0
         for group_start in range(0, t, entry.width):
             group = []
@@ -498,8 +570,34 @@ class BridgeServer(Server):
                     )
             if not group:
                 continue
+            pending = []
+            for index, block in group:
+                data = None
+                if self._cache is not None:
+                    data = self._cache.lookup(entry.name, block)
+                    if data is None and self._prefetcher is not None:
+                        signal = self._prefetcher.inflight_signal(
+                            entry.name, block
+                        )
+                        if signal is not None:
+                            data = yield signal
+                            if data is not None:
+                                self._cache.mark_used(entry.name, block)
+                if data is not None:
+                    if self.config.cpu.bridge_cache_hit:
+                        yield Timeout(self.config.cpu.bridge_cache_hit)
+                    self.node.send(
+                        job.worker_ports[index],
+                        BlockDelivery(job_id, index, block, data),
+                        size=len(data),
+                    )
+                    delivered += 1
+                else:
+                    pending.append((index, block))
+            if not pending:
+                continue
             calls = []
-            for _index, block in group:
+            for _index, block in pending:
                 slot, local = entry.locate_block(block)
                 calls.append(
                     (self._slot_port(entry, slot), "read",
@@ -508,7 +606,7 @@ class BridgeServer(Server):
                       "hint": self._hints.get((entry.name, slot))}, 0)
                 )
             results = yield from gather(self.node, calls)
-            for (index, block), result in zip(group, results):
+            for (index, block), result in zip(pending, results):
                 slot, _local = entry.locate_block(block)
                 self._hints[(entry.name, slot)] = result.next_addr
                 self.node.send(
@@ -600,6 +698,67 @@ class BridgeServer(Server):
         if job is None:
             raise BridgeJobError(f"unknown job {job_id}")
         return job
+
+    def _read_global_cached(self, entry: BridgeFileEntry, name: str, block: int):
+        """Demand read through the S18 cache.
+
+        Runs in the detached half of a naive-view read whose synchronous
+        cache check missed.  Re-checks the cache (a prefetch may have
+        landed meanwhile), waits on an in-flight fetch instead of
+        duplicating its EFS request, and otherwise reads from the LFS and
+        installs the result under the generation guard.
+        """
+        if self._cache is None:
+            data = yield from self._read_global(entry, name, block)
+            return data
+        data = self._cache.peek(name, block)
+        if data is not None:
+            return data
+        if self._prefetcher is not None:
+            signal = self._prefetcher.inflight_signal(name, block)
+            if signal is not None:
+                data = yield signal
+                if data is not None:
+                    self._cache.mark_used(name, block)
+                    return data
+                # The fetch was dropped (stale or errored): fall through
+                # to a direct read so the demand path sees the real state.
+        generation = self._cache.generation(name)
+        data = yield from self._read_global(entry, name, block)
+        if self._cache.generation(name) == generation:
+            self._cache.install(name, block, data)
+        return data
+
+    def bridge_cache_stats(self) -> Optional[Dict[str, object]]:
+        """S18 cache/prefetch counters for reports and benches.
+
+        ``None`` when the cache is disabled (the seed configuration).
+        """
+        if self._cache is None:
+            return None
+        cache = self._cache
+        stats: Dict[str, object] = {
+            "capacity": cache.capacity,
+            "cached_blocks": len(cache),
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": cache.hit_rate,
+            "installs": cache.installs,
+            "evictions": cache.evictions,
+            "invalidations": cache.invalidations,
+            "prefetch_installs": cache.prefetch_installs,
+            "prefetch_used": cache.prefetch_used,
+            "prefetch_wasted": cache.prefetch_wasted,
+        }
+        if self._prefetcher is not None:
+            stats.update(
+                prefetch_window=self._prefetcher.window,
+                prefetch_issued=self._prefetcher.issued,
+                prefetch_completed=self._prefetcher.completed,
+                prefetch_dropped=self._prefetcher.dropped,
+                stream_recognitions=self._prefetcher.detector.recognitions,
+            )
+        return stats
 
     def _read_global(self, entry: BridgeFileEntry, name: str, block: int):
         slot, local = entry.locate_block(block)

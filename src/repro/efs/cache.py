@@ -123,11 +123,13 @@ class BlockCache:
 
     def _install(self, address: int, data: bytes, dirty: bool):
         if address in self._entries:
+            # Dirty is sticky: a block with an unflushed write-back stays
+            # dirty even when re-installed "clean" (e.g. by write_through,
+            # which has already put *its* data on the device but must not
+            # cancel the pending flush of the cached state).
             was_dirty = self._entries[address][1]
-            self._entries[address] = (data, dirty or (was_dirty and dirty))
+            self._entries[address] = (data, dirty or was_dirty)
             self._entries.move_to_end(address)
-            if was_dirty and not dirty:
-                pass  # overwritten with authoritative data
             return
         while len(self._entries) >= self.capacity:
             victim, (victim_data, victim_dirty) = self._entries.popitem(last=False)

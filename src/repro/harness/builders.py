@@ -39,12 +39,24 @@ class BridgeSystem:
         bridge_server_count: int = 1,
         redundancy: str = "none",
         rebuild_rate=None,
+        prefetch_window: Optional[int] = None,
+        bridge_cache_blocks: Optional[int] = None,
     ) -> None:
         if lfs_count < 1:
             raise ValueError("a Bridge system needs at least one LFS node")
         if bridge_server_count < 1:
             raise ValueError("need at least one Bridge Server")
         self.config = config or DEFAULT_CONFIG
+        # S18 knobs: override the config without forcing callers to build
+        # a SystemConfig by hand.  Defaults (None) leave the config as-is,
+        # which is cache-off / prefetch-off unless the config says else.
+        overrides = {}
+        if prefetch_window is not None:
+            overrides["prefetch_window"] = prefetch_window
+        if bridge_cache_blocks is not None:
+            overrides["bridge_cache_blocks"] = bridge_cache_blocks
+        if overrides:
+            self.config = self.config.with_changes(**overrides)
         self.sim = Simulator(seed=seed)
         # ``network`` may be an instance or a factory taking the simulator
         # (e.g. ``EthernetNetwork`` itself, whose bus process needs the sim).

@@ -647,3 +647,92 @@ def run_faults_experiment(p: int = 4, blocks: int = 16, seed: int = 0) -> Faults
         mirror_storage_blocks=mirror_storage,
         plain_storage_blocks=blocks,
     )
+
+
+# ---------------------------------------------------------------------------
+# S18: Bridge-server caching and striped read-ahead
+# ---------------------------------------------------------------------------
+
+
+def _prefetch_arm(arm: str, p: int, blocks: int, seed: int,
+                  prefetch_window: int, cache_blocks: int):
+    """One configuration reading one file twice through the naive view."""
+    system = paper_system(
+        p, seed=seed,
+        prefetch_window=prefetch_window,
+        bridge_cache_blocks=cache_blocks,
+    )
+    build_file(system, "stream", pattern_chunks(blocks))
+    client = system.naive_client()
+
+    def one_pass():
+        # Time only the streaming loop (Open's ~80 ms is Table 2's
+        # business and identical across arms).
+        yield from client.open("stream")
+        start = system.sim.now
+        chunks = []
+        while True:
+            block_number, data = yield from client.seq_read("stream")
+            if block_number is None:
+                return system.sim.now - start, chunks
+            chunks.append(data)
+
+    cold, cold_data = system.run(one_pass(), name=f"prefetch-{arm}-cold")
+    repeat, repeat_data = system.run(one_pass(), name=f"prefetch-{arm}-repeat")
+    stats = system.bridge.bridge_cache_stats() or {}
+    return cold, repeat, cold_data, repeat_data, stats
+
+
+def run_prefetch_experiment(p: int = 8, blocks: Optional[int] = None,
+                            windows=(1, 2, 4), seed: int = 0):
+    """The S18 ablation: cache off / cache only / read-ahead windows.
+
+    Every arm streams the same ``blocks``-block file through the naive
+    view twice; returns one :class:`PrefetchRun` per arm with the
+    cache-off cold pass as the common baseline.  The "cache" arm sizes
+    the cache to hold the whole file, so its *repeat* pass shows what an
+    LRU alone buys (the cold pass is identical to "off" — there are no
+    repeats to hit); the window arms show the read-ahead pipeline.
+    """
+    from repro.analysis.models import pipelined_read_seconds
+    from repro.harness.results import PrefetchRun
+
+    blocks = blocks if blocks is not None else 256
+    arms = [("off", 0, 0), ("cache", 0, blocks)]
+    arms += [(f"window-{w}", w, 0) for w in windows]
+    baseline = None
+    baseline_data = None
+    runs = []
+    for arm, window, cache_blocks in arms:
+        cold, repeat, cold_data, repeat_data, stats = _prefetch_arm(
+            arm, p, blocks, seed, window, cache_blocks
+        )
+        if baseline is None:
+            baseline, baseline_data = cold, cold_data
+        runs.append(
+            PrefetchRun(
+                arm=arm,
+                p=p,
+                blocks=blocks,
+                prefetch_window=window,
+                cache_blocks=stats.get("capacity", cache_blocks),
+                elapsed=cold,
+                repeat_seconds=repeat,
+                baseline_seconds=baseline,
+                content_ok=(
+                    cold_data == baseline_data
+                    and repeat_data == baseline_data
+                ),
+                model_seconds=(
+                    pipelined_read_seconds(blocks, p, DEFAULT_CONFIG)
+                    if window > 0 else None
+                ),
+                hits=stats.get("hits", 0),
+                misses=stats.get("misses", 0),
+                prefetch_issued=stats.get("prefetch_issued", 0),
+                prefetch_used=stats.get("prefetch_used", 0),
+                prefetch_wasted=stats.get("prefetch_wasted", 0),
+                invalidations=stats.get("invalidations", 0),
+            )
+        )
+    return runs

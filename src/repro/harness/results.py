@@ -215,3 +215,52 @@ class RedundancyRun:
         if self.healthy_read_s_per_block <= 0:
             return None
         return self.degraded_read_s_per_block / self.healthy_read_s_per_block
+
+
+@dataclass
+class PrefetchRun:
+    """One S18 caching/read-ahead arm streaming one file (two passes).
+
+    All arms read the same file with the same client loop; only the
+    Bridge Server's cache/prefetch configuration differs.  ``elapsed``
+    is the first (cold) sequential pass, ``repeat_seconds`` the second
+    pass over the same file — the pass that isolates pure cache value
+    when read-ahead is off.
+    """
+
+    arm: str  # "off", "cache", "window-1", ...
+    p: int
+    blocks: int
+    prefetch_window: int
+    cache_blocks: int
+    elapsed: float
+    repeat_seconds: float
+    baseline_seconds: float  # the cache-off arm's cold pass
+    content_ok: bool  # both passes byte-identical to the off arm
+    model_seconds: Optional[float]  # closed-form pipelined prediction
+    hits: int = 0
+    misses: int = 0
+    prefetch_issued: int = 0
+    prefetch_used: int = 0
+    prefetch_wasted: int = 0
+    invalidations: int = 0
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_seconds / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def repeat_speedup(self) -> float:
+        return (
+            self.baseline_seconds / self.repeat_seconds
+            if self.repeat_seconds > 0 else 0.0
+        )
+
+    @property
+    def ms_per_block(self) -> float:
+        return 1000.0 * self.elapsed / self.blocks if self.blocks else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -134,12 +134,13 @@ class AnyOf:
     (ties broken by list order).
     """
 
-    __slots__ = ("signals", "_process", "_done")
+    __slots__ = ("signals", "_process", "_done", "_watchers")
 
     def __init__(self, signals: Iterable[Signal]) -> None:
         self.signals = list(signals)
         self._process = None
         self._done = False
+        self._watchers: List[Any] = []
 
     def _wait(self, process) -> None:
         self._process = process
@@ -148,12 +149,23 @@ class AnyOf:
                 process.sim._schedule(0.0, process._step, (index, signal.value))
                 return
         for index, signal in enumerate(self.signals):
-            signal._waiters.append(_AnyOfWatcher(self, index))
+            watcher = _AnyOfWatcher(self, index)
+            self._watchers.append((signal, watcher))
+            signal._waiters.append(watcher)
 
     def _child_done(self, index: int, value: Any) -> None:
         if self._done:
             return
         self._done = True
+        # Detach from the signals that did not win, so long-lived signals
+        # don't accumulate dead watchers (the winner's waiter list was
+        # already swapped out by Signal.fire).
+        watchers, self._watchers = self._watchers, []
+        for signal, watcher in watchers:
+            try:
+                signal._waiters.remove(watcher)
+            except ValueError:
+                pass
         self._process.sim._schedule(0.0, self._process._step, (index, value))
 
 

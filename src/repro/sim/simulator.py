@@ -119,6 +119,13 @@ class Simulator:
             executed += 1
             if max_events is not None and executed >= max_events:
                 break
+        if until is not None and not heap and self.now < until:
+            # The heap drained before the horizon (or was empty to begin
+            # with): advance the clock to ``until`` just as the non-empty
+            # path does when the next event lies beyond it.  A
+            # ``max_events`` break leaves work pending, so it keeps the
+            # clock at the last executed event.
+            self.now = until
         self._events_executed += executed
         if check_deadlock and not heap:
             blocked = [p for p in self._processes if not p.done and not p.daemon]

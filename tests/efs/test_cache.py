@@ -222,3 +222,39 @@ def test_prefetch_never_overwrites_dirty_entry():
         return data
 
     assert sim.run_process(body())[:3] == b"new"
+
+
+def test_write_through_does_not_drop_pending_dirty_state():
+    # Regression for the dirty-bit expression in _install: a block with
+    # an unflushed write-back that is re-installed "clean" by a
+    # write_through must stay dirty — flush must still write the final
+    # cached contents so eviction/flush semantics never silently lose a
+    # pending write-back.
+    sim, disk, cache = make(track_blocks=1)
+
+    def body():
+        yield from cache.write_back(5, b"B" * 1024)
+        yield from cache.write_through(5, b"C" * 1024)
+        assert cache._entries[5][1] is True  # still dirty
+        yield from cache.flush()
+
+    sim.run_process(body())
+    assert disk.blocks[5] == b"C" * 1024
+    assert cache._entries[5][1] is False
+    assert cache.writebacks == 1
+
+
+def test_write_back_after_write_through_stays_dirty_until_flush():
+    sim, disk, cache = make(track_blocks=1)
+
+    def body():
+        yield from cache.write_through(7, b"T" * 1024)
+        assert cache._entries[7][1] is False
+        yield from cache.write_back(7, b"U" * 1024)
+        assert cache._entries[7][1] is True
+        assert disk.blocks[7] == b"T" * 1024  # device still has the old data
+        yield from cache.flush()
+
+    sim.run_process(body())
+    assert disk.blocks[7] == b"U" * 1024
+    assert cache._entries[7][1] is False

@@ -461,3 +461,34 @@ def test_tracer_kind_filter():
     sim.run()
     assert all(r.kind == "spawn" for r in tracer.records())
     assert tracer.counts["exit"] == 1
+
+
+def test_anyof_detaches_watchers_from_losing_signals():
+    # A long-lived signal repeatedly raced against short-lived ones must
+    # not accumulate one dead watcher per race.
+    sim = Simulator()
+    long_lived = Signal(sim)
+    for round_number in range(5):
+        quick = Signal(sim)
+        sim.call_later(0.1, quick.fire, round_number)
+
+        def waiter(q=quick):
+            return (yield AnyOf([long_lived, q]))
+
+        assert sim.run_process(waiter()) == (1, round_number)
+    assert long_lived._waiters == []
+
+
+def test_anyof_loser_firing_later_wakes_no_one():
+    sim = Simulator()
+    fast, slow = Signal(sim), Signal(sim)
+    sim.call_later(0.1, fast.fire, "fast")
+
+    def waiter():
+        result = yield AnyOf([fast, slow])
+        return result
+
+    assert sim.run_process(waiter()) == (0, "fast")
+    assert slow._waiters == []
+    slow.fire("late")  # nothing to wake; must not blow up
+    assert sim.run() >= 0.1

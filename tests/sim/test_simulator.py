@@ -348,3 +348,49 @@ def test_run_process_raises_if_blocked_forever():
 
     with pytest.raises(DeadlockError):
         sim.run_process(stuck())
+
+
+def test_run_until_advances_clock_on_initially_empty_heap():
+    sim = Simulator()
+    assert sim.run(until=2.5) == pytest.approx(2.5)
+    assert sim.now == pytest.approx(2.5)
+
+
+def test_run_until_advances_clock_when_heap_drains_early():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1.0)
+
+    sim.spawn(body())
+    assert sim.run(until=4.0) == pytest.approx(4.0)
+    # A second horizon keeps advancing from there (consistent with the
+    # non-empty case, where the clock lands exactly on `until`).
+    assert sim.run(until=6.0) == pytest.approx(6.0)
+
+
+def test_run_until_in_past_of_drained_clock_is_noop():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(3.0)
+
+    sim.spawn(body())
+    sim.run()
+    assert sim.now == pytest.approx(3.0)
+    assert sim.run(until=1.0) == pytest.approx(3.0)
+
+
+def test_max_events_break_does_not_jump_to_until():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1.0)
+        yield Timeout(1.0)
+
+    sim.spawn(body())
+    # One event executed (the spawn step at t=0); work remains pending,
+    # so the clock must not teleport to the horizon.
+    sim.run(until=10.0, max_events=1)
+    assert sim.now < 10.0
+    assert sim.pending_events > 0
