@@ -1,0 +1,41 @@
+"""Machine-readable bench output: ``BENCH_<name>.json`` at the repo root.
+
+Every ablation bench pairs its human-readable table (saved under
+``benchmarks/results/`` via ``conftest.emit``) with a JSON document the
+next PR's tooling can diff: ``write_bench_json("views", {...})`` writes
+``BENCH_views.json`` with a ``{"bench": "views", ...payload}`` envelope.
+
+Payloads should contain only deterministic simulation results (simulated
+seconds, message counts, model constants) — never host wall-clock — so
+the committed files are stable across machines and reruns.
+
+Importable both ways the benches are run: ``pytest benchmarks/`` inserts
+this directory on ``sys.path`` (no ``__init__.py`` here, by design) and
+script mode (``python benchmarks/bench_....py``) does the same, so a
+plain ``from _emit import write_bench_json`` always resolves.
+"""
+
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def bench_json_path(name: str) -> pathlib.Path:
+    """Where ``write_bench_json(name, ...)`` puts its document."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``allow_nan=False`` keeps the files strict JSON; non-string dict
+    keys (processor counts, widths) must be stringified by the caller.
+    """
+    document = {"bench": name}
+    document.update(payload)
+    path = bench_json_path(name)
+    path.write_text(
+        json.dumps(document, indent=2, allow_nan=False) + "\n"
+    )
+    return path

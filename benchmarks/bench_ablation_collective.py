@@ -15,6 +15,7 @@ Also runnable as a script (the CI smoke job)::
 
 import sys
 
+from _emit import write_bench_json
 from repro.analysis import format_table
 from repro.harness.experiments import run_collective_experiment
 
@@ -75,11 +76,35 @@ def render(runs) -> str:
     )
 
 
+def to_json(runs) -> dict:
+    sample = next(iter(runs.values()))
+    return {
+        "p": sample.p,
+        "blocks": sample.blocks,
+        "accesses": sample.accesses,
+        "workers": sample.workers,
+        "patterns": {
+            pattern: {
+                "naive_seconds": run.naive_seconds,
+                "listio_seconds": run.listio_seconds,
+                "twophase_seconds": run.twophase_seconds,
+                "naive_efs_requests": run.naive_efs_requests,
+                "listio_efs_requests": run.listio_efs_requests,
+                "twophase_efs_requests": run.twophase_efs_requests,
+                "model_exact": run.model_exact,
+                "content_ok": run.content_ok,
+            }
+            for pattern, run in runs.items()
+        },
+    }
+
+
 def test_collective_ablation(benchmark):
     from benchmarks.conftest import emit, run_once
 
     runs = run_once(benchmark, sweep)
     emit("ablation_collective", render(runs))
+    write_bench_json("collective", to_json(runs))
     check(runs)
 
 
@@ -87,6 +112,8 @@ def main(argv) -> int:
     quick = "--quick" in argv
     runs = sweep(quick=quick)
     print(render(runs))
+    if not quick:
+        write_bench_json("collective", to_json(runs))
     check(runs)
     print("collective ablation: all assertions passed"
           + (" (quick mode)" if quick else ""))

@@ -7,6 +7,7 @@ through an embedded binary tree."  This bench measures both dispatch
 modes and fits their growth.
 """
 
+from _emit import write_bench_json
 from benchmarks.conftest import emit, run_once
 from repro.analysis import fit_line, format_table
 from repro.harness.experiments import run_create_tree_experiment
@@ -35,6 +36,17 @@ def test_create_tree_dispatch(benchmark):
         f"(paper Table 2: 145 + 17.5*p)"
     )
     emit("ablation_create_tree", table)
+    write_bench_json("create_tree", {
+        "sequential_fit_ms": {"intercept": seq_fit[0], "slope": seq_fit[1]},
+        "paper_fit_ms": {"intercept": 145.0, "slope": 17.5},
+        "by_p": {
+            str(p): {
+                "sequential_ms": runs[p].sequential_ms,
+                "tree_ms": runs[p].tree_ms,
+            }
+            for p in ps
+        },
+    })
 
     # sequential dispatch grows ~linearly in p
     assert 8.0 < seq_fit[1] < 30.0

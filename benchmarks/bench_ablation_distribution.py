@@ -6,6 +6,7 @@ probability; chunking gives no within-window parallelism at all and
 forces a global reorganization when a file grows.
 """
 
+from _emit import write_bench_json
 from benchmarks.conftest import emit, run_once
 from repro.analysis import format_table
 from repro.baselines import (
@@ -65,6 +66,10 @@ def test_distribution_strategies(benchmark):
             title=f"Distribution strategies over a {FILE_BLOCKS}-block file",
         ),
     )
+    write_bench_json("distribution", {
+        "file_blocks": FILE_BLOCKS,
+        "rows": rows,
+    })
     by_key = {(r["p"], r["strategy"]): r for r in rows}
     for p in (4, 8, 16, 32):
         rr = by_key[(p, "round-robin")]

@@ -13,6 +13,7 @@ on every write.  Two tables:
   rebuild time — the section 6 cost argument made quantitative.
 """
 
+from _emit import write_bench_json
 from benchmarks.conftest import emit, run_once
 from repro.analysis import format_table
 from repro.faults import (
@@ -98,6 +99,38 @@ def test_fault_tolerance(benchmark):
         "ablation_faults",
         _survival_table(survival) + "\n\n" + _lifecycle_table(lifecycle),
     )
+    write_bench_json("faults", {
+        "survival": {
+            str(p): {
+                "plain_lost": run.plain_lost,
+                "mirrored_recovered": run.mirrored_recovered,
+                "mirror_fallbacks": run.mirror_fallbacks,
+                "storage_factor": (
+                    run.mirror_storage_blocks / run.plain_storage_blocks
+                ),
+                "loss_fraction_interleaved": files_lost_fraction_interleaved(p),
+                "loss_fraction_single_node": files_lost_fraction_single_node(p),
+            }
+            for p, run in sorted(survival.items())
+        },
+        "lifecycle": {
+            f"p{p}.{scheme}": {
+                "storage_factor": run.storage_factor,
+                "write_ops_per_block": run.write_ops_per_block,
+                "healthy_read_ms_per_block": run.healthy_read_s_per_block * 1e3,
+                "degraded_read_ms_per_block": (
+                    None if run.degraded_read_s_per_block is None
+                    else run.degraded_read_s_per_block * 1e3
+                ),
+                "degraded_reconstructions": run.degraded_reconstructions,
+                "rebuild_seconds": run.rebuild_seconds,
+                "survived": run.survived,
+                "content_ok": run.content_ok,
+                "fsck_clean": run.fsck_clean,
+            }
+            for (p, scheme), run in sorted(lifecycle.items())
+        },
+    })
     for p, run in survival.items():
         assert run.plain_lost, f"p={p}: interleaved file survived?!"
         assert run.mirrored_recovered

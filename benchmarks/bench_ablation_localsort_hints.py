@@ -8,6 +8,7 @@ shows how expensive hint-less linked-list access gets — the most likely
 explanation for that constant.
 """
 
+from _emit import write_bench_json
 from benchmarks.conftest import emit, run_once
 from repro.analysis import format_table
 from repro.config import DEFAULT_CONFIG
@@ -57,6 +58,18 @@ def test_localsort_hint_ablation(benchmark):
         "source of the paper's very large local-sort constant"
     )
     emit("ablation_localsort_hints", table)
+    write_bench_json("localsort_hints", {
+        "arms": {
+            label: {
+                "local_sort_seconds": r.local_sort_time,
+                "merge_seconds": r.merge_time,
+                "total_seconds": r.total_time,
+                "records": r.records,
+            }
+            for label, r in results.items()
+        },
+        "hintless_local_slowdown": off.local_sort_time / on.local_sort_time,
+    })
 
     assert off.local_sort_time > on.local_sort_time * 2.0
     assert off.records == on.records

@@ -17,16 +17,15 @@ Also runnable as a script (the CI smoke job)::
     PYTHONPATH=src python benchmarks/bench_ablation_prefetch.py --quick
 """
 
-import json
 import pathlib
 import sys
 
+from _emit import bench_json_path, write_bench_json
 from repro.analysis import format_table
 from repro.analysis.models import pipelined_read_seconds
 from repro.harness.experiments import run_prefetch_experiment
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-JSON_PATH = REPO_ROOT / "BENCH_prefetch.json"
+JSON_PATH = bench_json_path("prefetch")
 
 WINDOWS = (1, 2, 4)
 
@@ -88,7 +87,6 @@ def render(runs) -> str:
 
 def to_json(runs) -> dict:
     return {
-        "bench": "prefetch_ablation",
         "p": runs[0].p,
         "blocks": runs[0].blocks,
         "arms": [
@@ -115,7 +113,7 @@ def to_json(runs) -> dict:
 
 
 def write_json(runs) -> None:
-    JSON_PATH.write_text(json.dumps(to_json(runs), indent=2) + "\n")
+    write_bench_json("prefetch", to_json(runs))
 
 
 def test_prefetch_ablation(benchmark):

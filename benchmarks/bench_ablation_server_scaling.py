@@ -7,6 +7,7 @@ clients against 1, 2, and 4 hash-partitioned Bridge Servers and measures
 the makespan.
 """
 
+from _emit import write_bench_json
 from benchmarks.conftest import emit, run_once
 from repro.analysis import format_table
 from repro.harness.builders import BridgeSystem
@@ -60,6 +61,17 @@ def test_server_scaling(benchmark):
             ),
         ),
     )
+    write_bench_json("server_scaling", {
+        "clients": CLIENTS,
+        "blocks_per_file": BLOCKS,
+        "by_servers": {
+            str(servers): {
+                "makespan_seconds": elapsed,
+                "speedup": times[1] / elapsed,
+            }
+            for servers, elapsed in sorted(times.items())
+        },
+    })
     assert times[2] < times[1]
     assert times[4] < times[2]
     assert times[1] / times[4] > 1.6  # the central server was the bottleneck

@@ -13,6 +13,7 @@
    sequential read (9 ms) beat the 15 ms device latency.
 """
 
+from _emit import write_bench_json
 from benchmarks.conftest import emit, run_once
 from repro.analysis import format_table
 from repro.config import DEFAULT_CONFIG
@@ -124,6 +125,16 @@ def test_storage_array_rotational_latency(benchmark):
             title="Synchronized storage array: positioning grows, transfer shrinks",
         ),
     )
+    write_bench_json("storage_array", {
+        "by_members": {
+            str(members): {
+                "measured_service_ms": measured,
+                "expected_positioning_ms": positioning,
+                "transfer_per_block_ms": transfer,
+            }
+            for members, measured, positioning, transfer in rows
+        },
+    })
     by_members = {r[0]: r for r in rows}
     # expected positioning strictly grows toward a full rotation
     assert by_members[32][2] > by_members[2][2]
@@ -145,6 +156,9 @@ def test_disk_schedulers(benchmark):
             title="64 scattered reads on a geometric Wren (seek + rotation)",
         ),
     )
+    write_bench_json("schedulers", {
+        "batch_completion_seconds": dict(results),
+    })
     assert results["sstf"] < results["fcfs"]
     assert results["elevator"] < results["fcfs"]
 
@@ -159,6 +173,9 @@ def test_track_buffer_size(benchmark):
             title="Full-track buffering vs sequential read cost (15 ms disk)",
         ),
     )
+    write_bench_json("track_buffer", {
+        "seq_read_ms_per_block": {str(k): v for k, v in sorted(rows.items())},
+    })
     # no buffering: every read pays the disk; the paper's 9 ms needs ~4
     assert rows[1] > 15.0
     assert rows[4] < 10.0

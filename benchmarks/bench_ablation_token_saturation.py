@@ -11,6 +11,7 @@ measured records/second curve against the analytic saturation width
 (write_time / token_hop_time).
 """
 
+from _emit import write_bench_json
 from benchmarks.conftest import emit, run_once
 from repro.analysis import format_table
 from repro.harness.experiments import run_token_saturation
@@ -47,6 +48,17 @@ def test_token_saturation(benchmark):
         "(write_time / token_hop_time) — gains flatten beyond it"
     )
     emit("ablation_token_saturation", table)
+    write_bench_json("token_saturation", {
+        "saturation_width": model.saturation_width(),
+        "by_width": {
+            str(w): {
+                "elapsed_seconds": run.elapsed,
+                "records_per_second": run.records_per_second,
+                "model_records_per_second": 1.0 / model.merge_record_rate(w),
+            }
+            for w, run in sorted(runs.items())
+        },
+    })
 
     rates = {w: r.records_per_second for w, r in runs.items()}
     # throughput rises with width in the disk-bound regime...

@@ -8,6 +8,7 @@ shared Ethernet it is decisive because naive/parallel must move every
 block across the bus.
 """
 
+from _emit import write_bench_json
 from benchmarks.conftest import emit, run_once
 from repro.analysis import format_table
 from repro.harness.experiments import run_views_experiment
@@ -36,6 +37,20 @@ def test_views_ablation(benchmark):
         ),
     )
 
+    write_bench_json("views", {
+        "blocks": runs["butterfly"].blocks,
+        "p": 8,
+        "by_network": {
+            network: {
+                "naive_seconds": run.naive_seconds,
+                "parallel_open_seconds": run.parallel_open_seconds,
+                "virtual_parallel_seconds": run.virtual_parallel_seconds,
+                "tool_seconds": run.tool_seconds,
+                "throughput_blocks_per_second": run.as_throughput(),
+            }
+            for network, run in runs.items()
+        },
+    })
     butterfly, ethernet = runs["butterfly"], runs["ethernet"]
     # Every parallel view beats naive on both networks.
     for run in runs.values():

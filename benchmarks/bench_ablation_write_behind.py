@@ -8,6 +8,7 @@ naive write path dropping to cache speed — at the usual durability cost
 (a flush materializes the deferred device writes).
 """
 
+from _emit import write_bench_json
 from benchmarks.conftest import emit, run_once
 from repro.analysis import format_table
 from repro.config import DEFAULT_CONFIG
@@ -64,6 +65,13 @@ def test_write_behind_ablation(benchmark):
         "no longer disk-bound, as section 6 assumes"
     )
     emit("ablation_write_behind", table)
+    write_bench_json("write_behind", {
+        "arms": {
+            mode: {"write_ms_per_block": write_ms, "read_ms_per_block": read_ms}
+            for mode, (write_ms, read_ms) in results.items()
+        },
+        "write_path_speedup": through_write / behind_write,
+    })
 
     assert behind_write < through_write / 3
     # reads already benefit from the track buffer in both modes

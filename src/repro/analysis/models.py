@@ -240,6 +240,62 @@ def pipelined_read_seconds(file_blocks: int, width: int, config=None,
 
 
 # ---------------------------------------------------------------------------
+# S19: per-component attribution of the naive read path
+# ---------------------------------------------------------------------------
+#
+# The critical-path analyzer (repro.obs.critical) partitions a measured
+# span tree; this is the closed-form prediction it is cross-checked
+# against.  One steady-state naive-view sequential read costs, per block:
+#
+#   net:    4 one-way remote messages (request/response on both hops)
+#           + 2 block payloads (EFS->bridge, bridge->client);
+#   server: bridge request CPU + EFS request CPU
+#           (+ EFS cache-hit CPU on track-buffered blocks);
+#   disk:   one device access per track when the stream misses the EFS
+#           cache (``resident=False``), amortized over the track.
+
+
+def naive_read_components(
+    file_blocks: int,
+    config=None,
+    disk_latency: float = 0.015,
+    resident: bool = True,
+) -> Dict[str, float]:
+    """Predicted per-category seconds for ``file_blocks`` steady-state
+    naive reads.  ``resident=True`` models a file that fits in the EFS
+    caches (every read is a track-buffer hit, no disk time); ``False``
+    models a cold stream paying one device access per track."""
+    from repro.config import DATA_BYTES_PER_BLOCK, DEFAULT_CONFIG
+
+    cfg = config or DEFAULT_CONFIG
+    track = max(1, cfg.efs_track_buffer_blocks)
+    per_block_net = (
+        4 * cfg.messages.remote_latency
+        + 2 * DATA_BYTES_PER_BLOCK * cfg.messages.per_byte
+    )
+    cold = 0.0 if resident else file_blocks / track
+    warm = file_blocks - cold
+    return {
+        "client": 0.0,
+        "net": file_blocks * per_block_net,
+        "server": (
+            file_blocks * (cfg.cpu.bridge_request + cfg.cpu.efs_request)
+            + warm * cfg.cpu.efs_cache_hit
+        ),
+        "disk": cold * disk_latency,
+        "queue": 0.0,
+    }
+
+
+def naive_read_seconds_per_block(config=None, disk_latency: float = 0.015,
+                                 resident: bool = True) -> float:
+    """Total of :func:`naive_read_components` for one block."""
+    return sum(naive_read_components(
+        1, config=config, disk_latency=disk_latency, resident=resident
+    ).values())
+
+
+# ---------------------------------------------------------------------------
 # Fitting helpers
 # ---------------------------------------------------------------------------
 

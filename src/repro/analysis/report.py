@@ -196,6 +196,45 @@ def redundancy_section(p: int = 4, blocks: Optional[int] = None) -> str:
     return f"## Redundancy schemes (p={p})\n\n{body}\n"
 
 
+def observability_section(p: int = 8, blocks: Optional[int] = None) -> str:
+    """S19: where does a naive read's latency go?  Critical-path
+    attribution vs. the exact cost model, plus determinism and disk
+    utilization from the timelines."""
+    from repro.harness.experiments import run_obs_experiment
+
+    run = run_obs_experiment(p=p, blocks=blocks)
+    categories = sorted(run.attribution_seconds)
+    rows = [
+        [
+            category,
+            f"{run.attribution_seconds[category] * 1000:.2f}",
+            f"{run.model_seconds.get(category, 0.0) * 1000:.2f}",
+            f"{run.attribution_fractions[category] * 100:.1f}%",
+        ]
+        for category in categories
+    ]
+    body = format_markdown_table(
+        ["component", "measured ms", "model ms", "share"], rows
+    )
+    busy = ", ".join(
+        f"{name}={fraction:.3f}"
+        for name, fraction in sorted(run.disk_busy_fractions.items())
+    )
+    return (
+        f"## Observability: naive read critical path (p={p}, "
+        f"n={run.blocks})\n\n{body}\n\n"
+        f"- partition error: `{run.partition_error:.2e}` "
+        "(attribution sums to measured latency by construction)\n"
+        f"- worst model error: `{run.max_model_error:.2e}`\n"
+        f"- event sequence identical with obs off: "
+        f"`{run.event_sequence_identical}` "
+        f"({run.events_obs_on} events)\n"
+        f"- spans recorded: {run.span_count} "
+        f"(dropped {run.spans_dropped})\n"
+        f"- disk busy fractions: {busy}\n"
+    )
+
+
 def build_report(ps: Sequence[int] = (2, 4, 8),
                  blocks: Optional[int] = None,
                  records: Optional[int] = None,
@@ -210,5 +249,6 @@ def build_report(ps: Sequence[int] = (2, 4, 8),
         table4_section(ps, records=records),
         prefetch_section(p=max(ps), blocks=blocks),
         redundancy_section(p=max(ps)),
+        observability_section(p=max(ps), blocks=blocks),
     ]
     return "\n".join(sections)

@@ -142,6 +142,15 @@ class TwoPhaseIO:
                     )
         sim = self.system.sim
         start = sim.now
+        obs = sim.obs
+        op_span = None
+        prev = None
+        if obs is not None:
+            prev = obs.current
+            op_span = obs.begin("collective_read", "client",
+                                node=self.node.index)
+            obs.set_current(op_span)
+            obs.metrics.counter("collective.read").inc()
         assignment = elect_aggregators(imap, per_worker)
         # All redistribution messages land on one coordinator-owned port;
         # each carries its (slot, worker) origin, so the coordinator can
@@ -149,6 +158,10 @@ class TwoPhaseIO:
         collect_port = self.node.port("twophase.collect")
         exchange_messages = 0
         expected = 0
+        phase1 = None
+        if obs is not None:
+            phase1 = obs.begin("exchange", "client", node=self.node.index)
+            obs.set_current(phase1)
         for slot in sorted(assignment):
             constituent = opened.constituents[slot]
             lfs_node = self.machine.node(constituent.node_index)
@@ -170,6 +183,12 @@ class TwoPhaseIO:
             )
             exchange_messages += 1
             expected += len(assignment[slot])
+        phase2 = None
+        if obs is not None:
+            obs.end(phase1)
+            phase2 = obs.begin("redistribute", "client", parent=op_span,
+                               inherit=False, node=self.node.index)
+            obs.set_current(phase2)
         by_block: List[Dict[int, bytes]] = [dict() for _ in per_worker]
         bytes_redistributed = 0
         for _ in range(expected):
@@ -177,6 +196,11 @@ class TwoPhaseIO:
             for block, data in payload:
                 by_block[worker][block] = data
                 bytes_redistributed += len(data)
+        if obs is not None:
+            obs.end(phase2)
+            obs.end(op_span, workers=len(per_worker),
+                    aggregators=len(assignment))
+            obs.set_current(prev)
         chunks = [
             [by_block[worker][block] for block in blocks]
             for worker, blocks in enumerate(per_worker)
@@ -261,6 +285,15 @@ class TwoPhaseIO:
             )
         sim = self.system.sim
         start = sim.now
+        obs = sim.obs
+        op_span = None
+        prev = None
+        if obs is not None:
+            prev = obs.current
+            op_span = obs.begin("collective_write", "client",
+                                node=self.node.index)
+            obs.set_current(op_span)
+            obs.metrics.counter("collective.write").inc()
         # Election over the write targets: {slot: {worker: [(global, data)]}}
         assignment: Dict[int, Dict[int, List[Tuple[int, bytes]]]] = {}
         for worker, writes in enumerate(per_worker):
@@ -276,6 +309,10 @@ class TwoPhaseIO:
         exchange_messages = 0
         redistribution = 0
         bytes_redistributed = 0
+        phase1 = None
+        if obs is not None:
+            phase1 = obs.begin("exchange", "client", node=self.node.index)
+            obs.set_current(phase1)
         for slot in sorted(assignment):
             constituent = opened.constituents[slot]
             lfs_node = self.machine.node(constituent.node_index)
@@ -297,8 +334,19 @@ class TwoPhaseIO:
                 redistribution += 1
                 bytes_redistributed += size
             exchange_messages += 1
+        phase2 = None
+        if obs is not None:
+            obs.end(phase1)
+            phase2 = obs.begin("access", "client", parent=op_span,
+                               inherit=False, node=self.node.index)
+            obs.set_current(phase2)
         for _ in range(len(assignment)):
             yield done_port.recv()
+        if obs is not None:
+            obs.end(phase2)
+            obs.end(op_span, workers=len(per_worker),
+                    aggregators=len(assignment))
+            obs.set_current(prev)
         # Appends happened behind the Bridge Server's back (tool-style
         # direct EFS access); re-open so the directory entry resyncs its
         # size from the constituents before anyone trusts it again.

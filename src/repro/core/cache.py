@@ -36,6 +36,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro.obs.metrics import Counter
+
 
 class BridgeBlockCache:
     """LRU block cache keyed by ``(file name, global block number)``.
@@ -56,14 +58,17 @@ class BridgeBlockCache:
             OrderedDict()
         )
         self._generations: Dict[str, int] = {}
-        self.hits = 0
-        self.misses = 0
-        self.installs = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self.prefetch_installs = 0
-        self.prefetch_used = 0
-        self.prefetch_wasted = 0
+        # Counters are repro.obs instruments behind int-returning
+        # properties, so the pre-S19 integer-attribute API is unchanged
+        # while a MetricsRegistry can adopt the live objects.
+        self._hits = Counter()
+        self._misses = Counter()
+        self._installs = Counter()
+        self._evictions = Counter()
+        self._invalidations = Counter()
+        self._prefetch_installs = Counter()
+        self._prefetch_used = Counter()
+        self._prefetch_wasted = Counter()
 
     # ------------------------------------------------------------------
     # Lookup / install
@@ -74,12 +79,12 @@ class BridgeBlockCache:
         key = (name, block)
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self._misses.inc()
             return None
-        self.hits += 1
+        self._hits.inc()
         data, prefetched = entry
         if prefetched:
-            self.prefetch_used += 1
+            self._prefetch_used.inc()
             self._entries[key] = (data, False)
         self._entries.move_to_end(key)
         return data
@@ -101,7 +106,7 @@ class BridgeBlockCache:
             return None
         data, prefetched = entry
         if prefetched:
-            self.prefetch_used += 1
+            self._prefetch_used.inc()
             self._entries[key] = (data, False)
         self._entries.move_to_end(key)
         return data
@@ -113,7 +118,7 @@ class BridgeBlockCache:
         key = (name, block)
         entry = self._entries.get(key)
         if entry is not None and entry[1]:
-            self.prefetch_used += 1
+            self._prefetch_used.inc()
             self._entries[key] = (entry[0], False)
             self._entries.move_to_end(key)
 
@@ -123,16 +128,16 @@ class BridgeBlockCache:
         key = (name, block)
         stale = self._entries.pop(key, None)
         if stale is not None and stale[1]:
-            self.prefetch_wasted += 1  # re-fetched before anyone used it
+            self._prefetch_wasted.inc()  # re-fetched before anyone used it
         while len(self._entries) >= self.capacity:
             _victim, (_data, was_prefetched) = self._entries.popitem(last=False)
-            self.evictions += 1
+            self._evictions.inc()
             if was_prefetched:
-                self.prefetch_wasted += 1
+                self._prefetch_wasted.inc()
         self._entries[key] = (data, prefetched)
-        self.installs += 1
+        self._installs.inc()
         if prefetched:
-            self.prefetch_installs += 1
+            self._prefetch_installs.inc()
 
     # ------------------------------------------------------------------
     # Invalidation (the write-through protocol) and generations
@@ -155,9 +160,9 @@ class BridgeBlockCache:
         self.bump_generation(name)
         entry = self._entries.pop((name, block), None)
         if entry is not None:
-            self.invalidations += 1
+            self._invalidations.inc()
             if entry[1]:
-                self.prefetch_wasted += 1
+                self._prefetch_wasted.inc()
 
     def invalidate_file(self, name: str) -> None:
         """Drop every cached block of ``name`` and bump its generation."""
@@ -165,9 +170,56 @@ class BridgeBlockCache:
         victims = [key for key in self._entries if key[0] == name]
         for key in victims:
             _data, prefetched = self._entries.pop(key)
-            self.invalidations += 1
+            self._invalidations.inc()
             if prefetched:
-                self.prefetch_wasted += 1
+                self._prefetch_wasted.inc()
+
+    # ------------------------------------------------------------------
+    # Counter facade + metrics registration (S19)
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def installs(self) -> int:
+        return self._installs.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
+
+    @property
+    def prefetch_installs(self) -> int:
+        return self._prefetch_installs.value
+
+    @property
+    def prefetch_used(self) -> int:
+        return self._prefetch_used.value
+
+    @property
+    def prefetch_wasted(self) -> int:
+        return self._prefetch_wasted.value
+
+    def bind_metrics(self, registry, prefix: str = "bridge.cache") -> None:
+        """Adopt this cache's live counters into a MetricsRegistry."""
+        registry.adopt(f"{prefix}.hit", self._hits)
+        registry.adopt(f"{prefix}.miss", self._misses)
+        registry.adopt(f"{prefix}.install", self._installs)
+        registry.adopt(f"{prefix}.eviction", self._evictions)
+        registry.adopt(f"{prefix}.invalidation", self._invalidations)
+        registry.adopt(f"{prefix}.prefetch_install", self._prefetch_installs)
+        registry.adopt(f"{prefix}.prefetch_used", self._prefetch_used)
+        registry.adopt(f"{prefix}.prefetch_wasted", self._prefetch_wasted)
 
     # ------------------------------------------------------------------
 

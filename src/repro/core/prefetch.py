@@ -132,14 +132,26 @@ class Prefetcher:
 
     def _issue(self, entry, name: str, block: int) -> None:
         node = self.server.node
-        signal = Signal(node.machine.sim)
+        sim = node.machine.sim
+        signal = Signal(sim)
         self._inflight[(name, block)] = signal
         generation = self.cache.generation(name)
         self.issued += 1
+        span = None
+        if sim.obs is not None:
+            # The fetch span parents under the demand op that triggered
+            # the read-ahead, but is background: it appears in exports as
+            # a prefetch child without polluting the op's latency
+            # partition (it overlaps and outlives the demand path).
+            span = sim.obs.begin(
+                f"prefetch[{block}]", "server", node=node.index,
+                background=True,
+            )
+            sim.obs.metrics.counter(f"{self.server.name}.prefetch.issued").inc()
         slot, local = entry.locate_block(block)
         key = (name, slot)
         queue = self._queues.setdefault(key, deque())
-        queue.append((entry, block, local, signal, generation))
+        queue.append((entry, block, local, signal, generation, span))
         if key not in self._busy:
             self._busy.add(key)
             node.spawn(
@@ -153,9 +165,14 @@ class Prefetcher:
 
         name, slot = key
         server = self.server
+        obs = server.node.machine.sim.obs
         queue = self._queues[key]
         while queue:
-            entry, block, local, signal, generation = queue.popleft()
+            entry, block, local, signal, generation, span = queue.popleft()
+            if obs is not None:
+                # Route this worker's causality (the gather legs, EFS
+                # server work, disk access) under the fetch span.
+                obs.set_current(span)
             try:
                 results = yield from gather(
                     server.node,
@@ -171,17 +188,25 @@ class Prefetcher:
                 # block is actually read.
                 self.error_drops += 1
                 self._inflight.pop((name, block), None)
+                if obs is not None:
+                    obs.end(span, outcome="error")
                 signal.fire(None)
                 continue
             self._inflight.pop((name, block), None)
             self.completed += 1
             if self.cache.generation(name) != generation:
                 self.stale_drops += 1  # a write landed while we read
+                if obs is not None:
+                    obs.end(span, outcome="stale")
                 signal.fire(None)
                 continue
             server._hints[(name, slot)] = result.next_addr
             self.cache.install(name, block, result.data, prefetched=True)
+            if obs is not None:
+                obs.end(span, outcome="installed")
             signal.fire(result.data)
+        if obs is not None:
+            obs.set_current(None)
         self._queues.pop(key, None)
         self._busy.discard(key)
 

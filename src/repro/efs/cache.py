@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro.obs.metrics import Counter
 from repro.sim import Timeout
 
 
@@ -40,10 +41,12 @@ class BlockCache:
         self.track_blocks = track_blocks
         self.hit_cpu = hit_cpu
         self._entries: "OrderedDict[int, Tuple[bytes, bool]]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.writebacks = 0
+        # obs-instrument counters behind int properties: same public API,
+        # adoptable into a MetricsRegistry (see bind_metrics).
+        self._hits = Counter()
+        self._misses = Counter()
+        self._evictions = Counter()
+        self._writebacks = Counter()
 
     # ------------------------------------------------------------------
     # Generator API (all methods may perform device I/O)
@@ -58,12 +61,12 @@ class BlockCache:
         """
         entry = self._entries.get(address)
         if entry is not None:
-            self.hits += 1
+            self._hits.inc()
             self._entries.move_to_end(address)
             if self.hit_cpu:
                 yield Timeout(self.hit_cpu)
             return entry[0]
-        self.misses += 1
+        self._misses.inc()
         data = yield from self.disk.read(address)
         yield from self._install(address, data, dirty=False)
         if prefetch and self.track_blocks > 1:
@@ -93,7 +96,7 @@ class BlockCache:
         for address, data in sorted(dirty):
             yield from self.disk.write(address, data)
             self._entries[address] = (data, False)
-            self.writebacks += 1
+            self._writebacks.inc()
 
     # ------------------------------------------------------------------
     # Synchronous helpers
@@ -110,6 +113,29 @@ class BlockCache:
 
     def invalidate_all(self) -> None:
         self._entries.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def writebacks(self) -> int:
+        return self._writebacks.value
+
+    def bind_metrics(self, registry, prefix: str = "efs.cache") -> None:
+        """Adopt this cache's live counters into a MetricsRegistry."""
+        registry.adopt(f"{prefix}.hit", self._hits)
+        registry.adopt(f"{prefix}.miss", self._misses)
+        registry.adopt(f"{prefix}.eviction", self._evictions)
+        registry.adopt(f"{prefix}.writeback", self._writebacks)
 
     @property
     def hit_rate(self) -> float:
@@ -133,8 +159,8 @@ class BlockCache:
             return
         while len(self._entries) >= self.capacity:
             victim, (victim_data, victim_dirty) = self._entries.popitem(last=False)
-            self.evictions += 1
+            self._evictions.inc()
             if victim_dirty:
-                self.writebacks += 1
+                self._writebacks.inc()
                 yield from self.disk.write(victim, victim_data)
         self._entries[address] = (data, dirty)

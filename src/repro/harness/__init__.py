@@ -1,6 +1,8 @@
 """Experiment harness: system builders, runners, and result records."""
 
 from repro.harness.builders import BridgeSystem, build_system, paper_system
-from repro.harness.results import CollectiveRun
+from repro.harness.results import CollectiveRun, ObsRun
 
-__all__ = ["BridgeSystem", "CollectiveRun", "build_system", "paper_system"]
+__all__ = [
+    "BridgeSystem", "CollectiveRun", "ObsRun", "build_system", "paper_system",
+]

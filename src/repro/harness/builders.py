@@ -41,6 +41,8 @@ class BridgeSystem:
         rebuild_rate=None,
         prefetch_window: Optional[int] = None,
         bridge_cache_blocks: Optional[int] = None,
+        obs=False,
+        trace_export: Optional[str] = None,
     ) -> None:
         if lfs_count < 1:
             raise ValueError("a Bridge system needs at least one LFS node")
@@ -57,7 +59,20 @@ class BridgeSystem:
             overrides["bridge_cache_blocks"] = bridge_cache_blocks
         if overrides:
             self.config = self.config.with_changes(**overrides)
-        self.sim = Simulator(seed=seed)
+        # S19 observability: ``obs=True`` attaches a fresh Observability,
+        # ``obs=<instance>`` attaches a caller-provided one, ``obs=False``
+        # (the default) runs bare — same event sequence either way.
+        # ``trace_export`` names a Chrome-trace JSON file that run()
+        # writes after each driver completes (implies obs).
+        from repro.obs import Observability
+
+        if obs is True or (obs is False and trace_export is not None):
+            obs = Observability()
+        elif obs is False:
+            obs = None
+        self.obs = obs
+        self.trace_export = trace_export
+        self.sim = Simulator(seed=seed, obs=obs)
         # ``network`` may be an instance or a factory taking the simulator
         # (e.g. ``EthernetNetwork`` itself, whose bus process needs the sim).
         if callable(network):
@@ -116,6 +131,23 @@ class BridgeSystem:
             self, redundancy, rebuild_rate=rebuild_rate
         )
 
+        if self.obs is not None:
+            self._bind_observability()
+
+    def _bind_observability(self) -> None:
+        """Adopt component counters into the registry; tag disks with
+        their owning node for span/export grouping."""
+        registry = self.obs.metrics
+        for disk, node in zip(self.disks, self.lfs_nodes):
+            disk.obs_node = node.index
+        for node, efs in zip(self.lfs_nodes, self.efs_servers):
+            efs.cache.bind_metrics(registry, prefix=f"efs.{node.index}.cache")
+        for bridge in self.bridges:
+            if bridge._cache is not None:
+                bridge._cache.bind_metrics(
+                    registry, prefix=f"{bridge.name}.cache"
+                )
+
     # ------------------------------------------------------------------
 
     @property
@@ -148,8 +180,17 @@ class BridgeSystem:
         return EFSClient(node or self.lfs_nodes[slot], target.port)
 
     def run(self, generator, name: str = "main"):
-        """Spawn a driver process and run the simulation to completion."""
-        return self.sim.run_process(generator, name=name)
+        """Spawn a driver process and run the simulation to completion.
+
+        With ``trace_export`` set, the accumulated span tree is written
+        as Chrome trace-event JSON after the driver finishes (each run
+        overwrites the file with the trace so far)."""
+        result = self.sim.run_process(generator, name=name)
+        if self.trace_export is not None and self.obs is not None:
+            from repro.obs import export_chrome_trace
+
+            export_chrome_trace(self.obs, self.trace_export)
+        return result
 
     # ------------------------------------------------------------------
 

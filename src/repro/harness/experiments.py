@@ -736,3 +736,59 @@ def run_prefetch_experiment(p: int = 8, blocks: Optional[int] = None,
             )
         )
     return runs
+
+
+def _obs_stream_workload(system, name: str, blocks: int):
+    """Create + write ``blocks``, then stream them back naively."""
+    client = system.naive_client()
+    yield from client.create(name, width=system.width)
+    for i in range(blocks):
+        yield from client.seq_write(name, bytes([i % 256]) * 960)
+    yield from client.open(name)
+    for _ in range(blocks):
+        yield from client.seq_read(name)
+
+
+def run_obs_experiment(p: int = 8, blocks: Optional[int] = None,
+                       seed: int = 0):
+    """The S19 headline: run the naive sequential stream bare and
+    instrumented, check the event sequences match, and attribute the
+    read latency per component against the exact cost model.
+
+    Returns an :class:`~repro.harness.results.ObsRun`.  The file is
+    sized to stay resident in the EFS track caches (the paper's cached
+    9 ms regime), so the model's ``resident=True`` arm applies.
+    """
+    from repro.analysis.models import naive_read_components
+    from repro.harness.results import ObsRun
+    from repro.obs import attribute_ops
+
+    blocks = blocks if blocks is not None else 32 * p
+    name = "obsfile"
+
+    bare = paper_system(p, seed=seed)
+    bare.run(_obs_stream_workload(bare, name, blocks))
+
+    instrumented = paper_system(p, seed=seed, obs=True)
+    instrumented.run(_obs_stream_workload(instrumented, name, blocks))
+    obs = instrumented.obs
+
+    agg = attribute_ops(obs, "call.seq_read")
+    return ObsRun(
+        p=p,
+        blocks=blocks,
+        ops=agg["ops"],
+        latency_seconds=agg["latency_seconds"],
+        attribution_seconds=agg["attribution_seconds"],
+        attribution_fractions=agg["attribution_fractions"],
+        model_seconds=naive_read_components(blocks, resident=True),
+        span_count=len(obs.spans),
+        spans_dropped=obs.spans_dropped,
+        disk_busy_fractions=obs.timeline.disk_busy_fractions(
+            0.0, instrumented.sim.now
+        ),
+        events_obs_off=bare.sim.events_executed,
+        events_obs_on=instrumented.sim.events_executed,
+        elapsed_obs_off=bare.sim.now,
+        elapsed_obs_on=instrumented.sim.now,
+    )

@@ -48,7 +48,9 @@ class Machine:
 
     def send(self, src_node: Node, port: Port, message: Any, size: int = 0) -> None:
         """Send a message between nodes through the network model."""
-        self.network.send(self.sim, src_node, port, message, size=size)
+        latency = self.network.send(self.sim, src_node, port, message, size=size)
+        if self.sim.obs is not None:
+            self.sim.obs.on_send(src_node, port, message, size, latency)
 
     def spawn_remote(
         self, dst_node: Node, generator, name: str = "worker"
@@ -79,7 +81,15 @@ class _RemoteSpawn:
         self.name = name
 
     def _wait(self, process) -> None:
+        # The spawn callback runs outside any process step, where the
+        # observability "current span" is stale; capture the requester's
+        # context now so the remote process inherits the right parent.
+        obs = self.machine.sim.obs
+        ctx = obs.current if obs is not None else None
+
         def do_spawn(_arg):
+            if obs is not None:
+                obs.current = ctx
             new_process = self.dst_node.spawn(self.generator, name=self.name)
             process._step(new_process)
 

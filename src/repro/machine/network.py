@@ -25,13 +25,19 @@ class ButterflyNetwork:
         self.messages_sent = 0
         self.bytes_sent = 0
 
-    def send(self, sim, src_node, port, message: Any, size: int = 0) -> None:
-        """Deliver ``message`` to ``port`` after the modeled latency."""
+    def send(self, sim, src_node, port, message: Any, size: int = 0):
+        """Deliver ``message`` to ``port`` after the modeled latency.
+
+        Returns the latency charged, so instrumentation layered above
+        (:class:`repro.obs.Observability`) can price the transit without
+        re-deriving the network model.
+        """
         self.messages_sent += 1
         self.bytes_sent += size
         same_node = src_node is port.node
         latency = self.costs.latency(same_node, size)
         sim.call_later(latency, port.mailbox.deliver, message)
+        return latency
 
 
 class ZeroLatencyNetwork:
@@ -41,10 +47,11 @@ class ZeroLatencyNetwork:
         self.messages_sent = 0
         self.bytes_sent = 0
 
-    def send(self, sim, src_node, port, message: Any, size: int = 0) -> None:
+    def send(self, sim, src_node, port, message: Any, size: int = 0):
         self.messages_sent += 1
         self.bytes_sent += size
         sim.call_later(0.0, port.mailbox.deliver, message)
+        return 0.0
 
 
 class EthernetNetwork:
@@ -73,14 +80,17 @@ class EthernetNetwork:
         self._wakeup = Mailbox(sim, "ethernet.wakeup")
         sim.spawn(self._transmitter(), name="ethernet", daemon=True)
 
-    def send(self, sim, src_node, port, message: Any, size: int = 0) -> None:
+    def send(self, sim, src_node, port, message: Any, size: int = 0):
         self.messages_sent += 1
         self.bytes_sent += size
         if src_node is port.node:
             sim.call_later(self.local_latency, port.mailbox.deliver, message)
-            return
+            return self.local_latency
         self._queue.append((port, message, size))
         self._wakeup.deliver(None)
+        # Remote messages queue behind the shared bus; the arrival time is
+        # unknown until the transmitter gets to them.
+        return None
 
     def _transmitter(self):
         while True:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.machine.node import Node, Port
+from repro.obs.spans import SpanContext
 
 
 @dataclass
@@ -27,6 +28,12 @@ class Request:
     args: Dict[str, Any] = field(default_factory=dict)
     reply_to: Optional[Port] = None
     size: int = 0  # payload bytes carried with the request
+    # S19 trace context (repro.obs.SpanContext).  Stamped by the sender —
+    # explicitly by instrumented call sites, or automatically by the
+    # interconnect hook for raw Request sends — and read by Server._loop
+    # to link the handler span to its caller.  Always None when
+    # observability is disabled.
+    trace_ctx: Optional[Any] = None
 
 
 @dataclass
@@ -83,6 +90,10 @@ class Server:
         while True:
             request = yield self.port.recv()
             started = sim.now
+            obs = sim.obs
+            server_span = None
+            if obs is not None:
+                server_span = self._begin_request(obs, request)
             handler = getattr(self, "op_" + request.method, None)
             if handler is None:
                 response = Response(
@@ -98,11 +109,15 @@ class Server:
                 else:
                     if isinstance(result, Detached):
                         self.node.spawn(
-                            self._finish_detached(result.generator, request),
+                            self._finish_detached(
+                                result.generator, request, server_span, started
+                            ),
                             name=f"{self.name}.detached",
                         )
                         self.requests_served += 1
                         self.busy_time += sim.now - started
+                        if obs is not None:
+                            obs.set_current(None)
                         continue
                     if isinstance(result, Response):
                         response = result
@@ -110,18 +125,62 @@ class Server:
                         response = Response(value=result)
             self.requests_served += 1
             self.busy_time += sim.now - started
+            if obs is not None:
+                self._end_request(obs, request, server_span, started)
             if request.reply_to is not None:
                 self.node.send(request.reply_to, response, size=response.size)
+            if obs is not None:
+                obs.set_current(None)
 
-    def _finish_detached(self, generator, request: Request):
+    # -- S19 per-request instrumentation -------------------------------
+
+    def _begin_request(self, obs, request: Request):
+        """Open the handler span (plus a mailbox-wait span when the
+        request sat queued) and make it the loop's current context."""
+        ctx = request.trace_ctx
+        parent = ctx.span if ctx is not None else None
+        started = obs.now
+        if ctx is not None:
+            queued_from = ctx.deliver_at if ctx.deliver_at is not None else ctx.sent_at
+            if queued_from is not None and started - queued_from > 1e-12:
+                wait_span = obs.begin(
+                    "mailbox_wait", "queue", parent=parent, inherit=False,
+                    node=self.node.index, start=queued_from,
+                )
+                obs.end(wait_span, end=started)
+        span = obs.begin(
+            f"{self.name}.{request.method}", "server",
+            parent=parent, inherit=False, node=self.node.index,
+        )
+        obs.set_current(span)
+        obs.metrics.counter(f"{self.name}.op.{request.method}").inc()
+        return span
+
+    def _end_request(self, obs, request: Request, span, started: float) -> None:
+        """Close the handler span; response transit (sent next) parents
+        under the *caller's* span so its partition stays exact."""
+        obs.end(span)
+        obs.metrics.histogram(
+            f"{self.name}.op.{request.method}.latency"
+        ).observe(obs.now - started)
+        ctx = request.trace_ctx
+        obs.current = ctx.span if ctx is not None else None
+
+    def _finish_detached(self, generator, request: Request, span=None,
+                         started: float = 0.0):
         try:
             value = yield from generator
         except Exception as exc:
             response = Response(error=exc)
         else:
             response = value if isinstance(value, Response) else Response(value=value)
+        obs = self.node.machine.sim.obs
+        if obs is not None:
+            self._end_request(obs, request, span, started)
         if request.reply_to is not None:
             self.node.send(request.reply_to, response, size=response.size)
+        if obs is not None:
+            obs.set_current(None)
 
     def utilization(self) -> float:
         """Fraction of simulated time this server spent handling requests."""
@@ -145,8 +204,19 @@ class Client:
     def call(self, port: Port, method: str, size: int = 0, **args):
         """Generator performing one call: ``value = yield from client.call(...)``."""
         request = Request(method=method, args=args, reply_to=self.reply_port, size=size)
+        obs = self.node.machine.sim.obs
+        span = None
+        prev = None
+        if obs is not None:
+            prev = obs.current
+            span = obs.begin(f"call.{method}", "client", node=self.node.index)
+            request.trace_ctx = SpanContext(span)
+            obs.set_current(span)
         self.node.send(port, request, size=size)
         response = yield self.reply_port.recv()
+        if obs is not None:
+            obs.end(span, target=port.name)
+            obs.set_current(prev)
         if response.error is not None:
             raise response.error
         return response.value
@@ -200,16 +270,34 @@ def gather(node: Node, calls, max_in_flight: Optional[int] = None):
     if not calls:
         return []
     window = len(calls) if max_in_flight is None else max_in_flight
+    obs = node.machine.sim.obs
+    prev = obs.current if obs is not None else None
     values = []
     for window_start in range(0, len(calls), window):
         batch = calls[window_start:window_start + window]
         reply_ports = []
+        legs = []
         for port, method, args, size in batch:
             reply_port = node.port()
-            node.send(port, Request(method, args, reply_port, size), size=size)
+            request = Request(method, args, reply_port, size)
+            leg = None
+            if obs is not None:
+                # One client-side span per fan-out leg; sends don't yield,
+                # so flipping obs.current around the send needs no sticky
+                # process-context update.
+                leg = obs.begin(f"gather.{method}", "client",
+                                parent=prev, inherit=False, node=node.index)
+                request.trace_ctx = SpanContext(leg)
+                obs.current = leg
+            node.send(port, request, size=size)
+            if obs is not None:
+                obs.current = prev
             reply_ports.append(reply_port)
+            legs.append(leg)
         for offset, reply_port in enumerate(reply_ports):
             response = yield reply_port.recv()
+            if obs is not None:
+                obs.end(legs[offset])
             if response.error is not None:
                 index = window_start + offset
                 port, method, _args, _size = calls[index]

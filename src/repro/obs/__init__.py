@@ -1,0 +1,73 @@
+"""S19 observability subsystem: causal spans, metrics, timelines, profiling.
+
+One :class:`Observability` instance attaches to a simulator (``sim.obs``)
+and every instrumented layer records into it — synchronously, scheduling
+zero extra simulation events, so an obs-enabled run executes the exact
+event sequence of a bare run.  ``sim.obs is None`` (the default) skips
+everything.
+
+Quickstart::
+
+    from repro.harness import paper_system
+    from repro.obs import attribute_ops, export_chrome_trace
+
+    system = paper_system(lfs_count=8, obs=True)
+    system.run(my_workload(system))
+    print(attribute_ops(system.sim.obs, "bridge.seq_read"))
+    export_chrome_trace(system.sim.obs, "trace.json")  # load in Perfetto
+"""
+
+from repro.obs.critical import (
+    attribute,
+    attribute_ops,
+    compare_to_model,
+    critical_path,
+    slowest_ops,
+)
+from repro.obs.export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    export_chrome_trace,
+    span_tree_lines,
+    validate_trace_document,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import CATEGORIES, Observability, Span, SpanContext
+from repro.obs.timeline import (
+    DiskTimeline,
+    NodeTraffic,
+    QueueSamples,
+    UtilizationTimeline,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "DEFAULT_LATENCY_BOUNDS",
+    "DiskTimeline",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NodeTraffic",
+    "Observability",
+    "QueueSamples",
+    "Span",
+    "SpanContext",
+    "UtilizationTimeline",
+    "attribute",
+    "attribute_ops",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "compare_to_model",
+    "critical_path",
+    "export_chrome_trace",
+    "slowest_ops",
+    "span_tree_lines",
+    "validate_trace_document",
+]

@@ -1,0 +1,148 @@
+"""Critical-path analysis: where did this operation's latency go?
+
+The analyzer walks one op's span tree and *partitions* the root interval
+across attribution categories — disk, interconnect (net), server,
+client, queueing.  Partitioning (rather than summing child durations)
+is what makes the invariant hold by construction:
+
+    sum(attribution.values()) == root.duration   (exactly)
+
+Rules:
+
+* a child span owns the sub-interval it covers, clipped to its parent's
+  window and to the walk cursor (overlap is never double-counted);
+* time inside a span not covered by any foreground child is *self time*
+  and goes to the span's own category;
+* ``background=True`` spans (prefetch fetches that overlap and outlive
+  the demand path) are excluded from the partition — they still appear
+  in exports, but attributing them would double-count wall time;
+* a ``disk`` span's self time is split between ``disk`` (service) and
+  ``queue`` (time waiting for the arm) using the wait/service breakdown
+  the disk stamps into the span's args.
+
+The module cross-checks against :mod:`repro.analysis.models`: the exact
+cost model predicts per-category totals for a steady-state naive read,
+and :func:`compare_to_model` reports the relative error per category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.spans import CATEGORIES, Observability, Span
+
+
+def attribute(obs: Observability, root: Span) -> Dict[str, float]:
+    """Partition ``root``'s latency over categories; sums to its duration."""
+    totals: Dict[str, float] = {category: 0.0 for category in CATEGORIES}
+    children = obs.children_index()
+    _walk(root, root.start, root.end if root.end is not None else root.start,
+          children, totals)
+    return totals
+
+
+def _credit_self(span: Span, amount: float, totals: Dict[str, float]) -> None:
+    """Credit a span's self time, splitting disk spans into service/wait."""
+    if amount <= 0.0:
+        return
+    if span.category == "disk" and span.args:
+        wait = span.args.get("wait")
+        service = span.args.get("service")
+        if wait is not None and service is not None and (wait + service) > 0.0:
+            disk_share = amount * service / (wait + service)
+            totals["disk"] = totals.get("disk", 0.0) + disk_share
+            totals["queue"] = totals.get("queue", 0.0) + (amount - disk_share)
+            return
+    totals[span.category] = totals.get(span.category, 0.0) + amount
+
+
+def _walk(span: Span, lo: float, hi: float,
+          children: Dict[Optional[int], List[Span]],
+          totals: Dict[str, float]) -> None:
+    cursor = lo
+    for child in children.get(span.id, ()):
+        if child.background or child.end is None:
+            continue
+        child_lo = max(child.start, cursor)
+        child_hi = min(child.end, hi)
+        if child_hi <= child_lo:
+            continue
+        _credit_self(span, child_lo - cursor, totals)
+        _walk(child, child_lo, child_hi, children, totals)
+        cursor = child_hi
+    _credit_self(span, hi - cursor, totals)
+
+
+def attribute_ops(obs: Observability,
+                  name_prefix: str = "") -> Dict[str, object]:
+    """Aggregate attribution over every finished root span matching
+    ``name_prefix`` (empty prefix = all roots)."""
+    totals: Dict[str, float] = {category: 0.0 for category in CATEGORIES}
+    latency = 0.0
+    count = 0
+    for root in obs.roots():
+        if root.end is None or root.background:
+            continue
+        if name_prefix and not root.name.startswith(name_prefix):
+            continue
+        for category, seconds in attribute(obs, root).items():
+            totals[category] = totals.get(category, 0.0) + seconds
+        latency += root.duration
+        count += 1
+    return {
+        "ops": count,
+        "latency_seconds": latency,
+        "attribution_seconds": totals,
+        "attribution_fractions": {
+            category: (seconds / latency if latency > 0.0 else 0.0)
+            for category, seconds in totals.items()
+        },
+    }
+
+
+def compare_to_model(measured: Dict[str, float],
+                     predicted: Dict[str, float]) -> Dict[str, object]:
+    """Per-category relative error of a measured attribution against an
+    exact-model prediction (categories absent from the model are skipped)."""
+    rows: Dict[str, object] = {}
+    for category in sorted(set(measured) | set(predicted)):
+        want = predicted.get(category)
+        if want is None:
+            continue
+        got = measured.get(category, 0.0)
+        error = (got - want) / want if want else (1.0 if got else 0.0)
+        rows[category] = {
+            "measured": got,
+            "predicted": want,
+            "relative_error": error,
+        }
+    return rows
+
+
+def critical_path(obs: Observability, root: Span) -> List[Span]:
+    """The chain of foreground spans covering the largest share of each
+    level's window — the op's critical path, root first."""
+    children = obs.children_index()
+    path = [root]
+    span = root
+    while True:
+        candidates = [
+            child for child in children.get(span.id, ())
+            if not child.background and child.end is not None
+        ]
+        if not candidates:
+            return path
+        span = max(candidates, key=lambda child: (child.duration, -child.id))
+        path.append(span)
+
+
+def slowest_ops(obs: Observability, name_prefix: str = "",
+                limit: int = 5) -> List[Span]:
+    """The ``limit`` slowest finished root spans matching ``name_prefix``."""
+    roots = [
+        root for root in obs.roots()
+        if root.end is not None and not root.background
+        and (not name_prefix or root.name.startswith(name_prefix))
+    ]
+    roots.sort(key=lambda span: (-span.duration, span.id))
+    return roots[:limit]

@@ -1,0 +1,137 @@
+"""Chrome trace-event export: load span trees in Perfetto / chrome://tracing.
+
+Emits the legacy JSON trace-event format (the one both Perfetto and
+``chrome://tracing`` accept): a ``traceEvents`` array of complete
+(``"ph": "X"``) events with microsecond timestamps.  Simulated nodes map
+to *pids* and span categories to *tids*, so each node renders as a
+process row with client / net / server / disk / queue tracks — a naive
+read draws as a staircase Bridge -> LFS -> disk and back.
+
+Span ancestry does not survive the flame rendering for spans that live
+on different nodes, so every event's ``args`` carries ``span_id`` /
+``parent_id``; the determinism tests reload the tree from those.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+#: Track (tid) ordering within a node's process row.
+_CATEGORY_TRACKS = {"client": 0, "server": 1, "disk": 2, "queue": 3, "net": 4}
+
+
+def chrome_trace_events(obs) -> List[Dict[str, object]]:
+    """Render an Observability's finished spans as trace-event dicts."""
+    events: List[Dict[str, object]] = []
+    for span in obs.spans:
+        if span.end is None:
+            continue
+        args: Dict[str, object] = {
+            "span_id": span.id,
+            "parent_id": span.parent_id,
+        }
+        if span.background:
+            args["background"] = True
+        if span.args:
+            args.update(span.args)
+        pid = span.node if span.node is not None else 0
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": _CATEGORY_TRACKS.get(span.category, 9),
+            "args": args,
+        })
+    return events
+
+
+def chrome_trace_document(obs) -> Dict[str, object]:
+    """The full JSON-object trace: events plus display metadata."""
+    events = chrome_trace_events(obs)
+    # Metadata events name the pid/tid rows in the viewer.
+    nodes = sorted({e["pid"] for e in events})
+    for pid in nodes:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"node {pid}"},
+        })
+        for category, tid in sorted(_CATEGORY_TRACKS.items(),
+                                    key=lambda item: item[1]):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": category},
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "spans": len(obs.spans),
+            "spans_dropped": obs.spans_dropped,
+        },
+    }
+
+
+def export_chrome_trace(obs, path: str) -> str:
+    """Write the trace JSON to ``path`` (deterministic bytes) and return it."""
+    document = chrome_trace_document(obs)
+    text = json.dumps(document, indent=1, sort_keys=True, allow_nan=False)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.write("\n")
+    return path
+
+
+def validate_trace_document(document: Dict[str, object]) -> List[str]:
+    """Check a trace document against the trace-event schema basics.
+
+    Returns a list of problems (empty means valid).  Used by the tests
+    and the CI artifact step instead of shipping a JSON-schema dep.
+    """
+    problems: List[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            problems.append(f"event {i}: unexpected phase {phase!r}")
+            continue
+        for key, kinds in (("name", str), ("pid", int), ("tid", int)):
+            if not isinstance(event.get(key), kinds):
+                problems.append(f"event {i}: bad {key!r}")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"event {i}: bad {key!r}")
+    return problems
+
+
+def span_tree_lines(obs, root=None, max_depth: Optional[int] = None) -> List[str]:
+    """ASCII rendering of a span tree, for reports and examples."""
+    children = obs.children_index()
+
+    def render(span, depth: int, out: List[str]) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        marker = " (bg)" if span.background else ""
+        out.append(
+            f"{'  ' * depth}{span.name} [{span.category}] "
+            f"{span.start * 1e3:.3f}..{(span.end or span.start) * 1e3:.3f} ms"
+            f"{marker}"
+        )
+        for child in children.get(span.id, ()):
+            render(child, depth + 1, out)
+
+    lines: List[str] = []
+    roots = [root] if root is not None else obs.roots()
+    for span in roots:
+        render(span, 0, lines)
+    return lines

@@ -1,0 +1,255 @@
+"""Causal spans: request-scoped trees of timed, attributed intervals.
+
+A :class:`Span` is one interval of simulated time with a *category*
+(``client`` / ``net`` / ``server`` / ``disk`` / ``queue``), an optional
+owning node, and a parent — so one naive Bridge read produces a linked
+tree: client op span -> request message -> Bridge Server handler -> EFS
+handler -> disk access -> response message.  Span IDs come from a
+monotonic counter (no wall clock, no RNG): two identical runs produce
+byte-identical trees.
+
+Causality crosses process and node boundaries via :class:`SpanContext`
+objects carried on :class:`repro.machine.rpc.Request` envelopes, and
+crosses *process spawns* via the per-process ``obs_ctx`` attribute that
+:class:`Observability` maintains (a spawned process inherits the
+spawner's current span; every scheduler step restores the stepping
+process's context).  Nothing here schedules simulation events: with the
+subsystem attached, the event sequence is identical to a run without it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import UtilizationTimeline
+
+#: Attribution categories (others are allowed; these are the canonical set).
+CATEGORIES = ("client", "net", "server", "disk", "queue")
+
+
+class Span:
+    """One timed interval in a causal tree.  Created via Observability."""
+
+    __slots__ = (
+        "id", "parent_id", "name", "category", "node",
+        "start", "end", "args", "background",
+    )
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 category: str, node: Optional[int], start: float,
+                 background: bool = False) -> None:
+        self.id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.args: Optional[Dict[str, Any]] = None
+        self.background = background
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = f"{self.end:.6f}" if self.end is not None else "open"
+        return (
+            f"Span(#{self.id} {self.name!r} cat={self.category} "
+            f"[{self.start:.6f}, {end}])"
+        )
+
+
+class SpanContext:
+    """Trace context carried on an RPC request envelope.
+
+    ``span`` is the sender-side parent span; ``deliver_at`` is stamped by
+    the interconnect instrumentation when the message's arrival time is
+    known, so the receiver can attribute mailbox residency to *queueing*
+    (delivered long before the server got to it) rather than to the
+    network.
+    """
+
+    __slots__ = ("span", "sent_at", "deliver_at")
+
+    def __init__(self, span: Optional[Span]) -> None:
+        self.span = span
+        #: When the carrying message entered the network.
+        self.sent_at: Optional[float] = None
+        #: When it reaches the destination mailbox — None for network
+        #: models that queue internally (the receiver then falls back to
+        #: ``sent_at``, folding transit into the queue attribution).
+        self.deliver_at: Optional[float] = None
+
+
+class Observability:
+    """The S19 hub: spans + metrics + timelines for one simulation.
+
+    Attach one instance to a :class:`~repro.sim.Simulator` (``sim.obs``);
+    every instrumented layer guards with ``if sim.obs is not None`` so a
+    detached run costs one branch per touch point and records nothing.
+
+    ``capacity`` bounds the span list (a ring is pointless for causal
+    trees, so overflow simply stops recording new spans and counts them
+    in ``spans_dropped`` — the bound is a memory guard for very long
+    simulations, not a sampling strategy).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.spans: List[Span] = []
+        self.spans_dropped = 0
+        self.capacity = capacity
+        self.metrics = MetricsRegistry()
+        self.timeline = UtilizationTimeline()
+        #: The span context of the currently-stepping process (None when
+        #: no span is active).  Maintained by Process._step and by the
+        #: instrumented server loops; read at message-send/span-begin time.
+        self.current: Optional[Span] = None
+        #: The Process whose generator is currently being stepped, so
+        #: in-process code (which has no handle to its own Process) can
+        #: rebind its context via :meth:`set_current`.
+        self.current_process = None
+        self._next_span_id = 1
+        self._sim = None
+
+    def attach(self, sim) -> "Observability":
+        self._sim = sim
+        return self
+
+    @property
+    def now(self) -> float:
+        return self._sim.now if self._sim is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, name: str, category: str,
+              parent: Optional[Span] = None, *, inherit: bool = True,
+              node: Optional[int] = None, start: Optional[float] = None,
+              background: bool = False) -> Optional[Span]:
+        """Open a span.  ``parent=None`` with ``inherit=True`` (the
+        default) parents under the current context; pass ``inherit=False``
+        to force a root span.  Returns ``None`` once ``capacity`` spans
+        have been recorded (callers must tolerate a ``None`` span)."""
+        if self.capacity is not None and len(self.spans) >= self.capacity:
+            self.spans_dropped += 1
+            return None
+        if parent is None and inherit:
+            parent = self.current
+        span = Span(
+            self._next_span_id,
+            parent.id if parent is not None else None,
+            name,
+            category,
+            node,
+            self.now if start is None else start,
+            background=background,
+        )
+        self._next_span_id += 1
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Optional[Span], end: Optional[float] = None,
+            **args: Any) -> None:
+        """Close a span (no-op for ``None``, so callers need no guard)."""
+        if span is None:
+            return
+        span.end = self.now if end is None else end
+        if args:
+            if span.args is None:
+                span.args = {}
+            span.args.update(args)
+
+    def event(self, name: str, category: str, duration: float = 0.0,
+              parent: Optional[Span] = None, node: Optional[int] = None,
+              background: bool = False, **args: Any) -> Optional[Span]:
+        """A complete span of known duration, opened and closed at once."""
+        span = self.begin(name, category, parent, node=node,
+                          background=background)
+        if span is not None:
+            self.end(span, end=span.start + duration, **args)
+        return span
+
+    # ------------------------------------------------------------------
+    # Process context plumbing
+    # ------------------------------------------------------------------
+
+    def set_current(self, span: Optional[Span]) -> None:
+        """Make ``span`` the current context *and* the stepping process's
+        sticky context, so it survives the process's subsequent yields
+        (every scheduler step restores ``current`` from the process).
+
+        Used by server loops (per-request), clients (per-call), and the
+        prefetcher's slot workers (per-fetch).
+        """
+        self.current = span
+        if self.current_process is not None:
+            self.current_process.obs_ctx = span
+
+    def set_process_ctx(self, process, span: Optional[Span]) -> None:
+        """Bind ``span`` to an explicit process (spawn-time propagation)."""
+        process.obs_ctx = span
+
+    # ------------------------------------------------------------------
+    # Interconnect hook (called by Machine.send when attached)
+    # ------------------------------------------------------------------
+
+    def on_send(self, src_node, port, message: Any, size: int,
+                latency: Optional[float]) -> None:
+        """Record one message: a ``net`` span under the sender's current
+        context, per-node traffic counts, and — when the message is an
+        RPC envelope — trace-context propagation and arrival stamping."""
+        src = src_node.index
+        dst = port.node.index
+        self.timeline.record_message(src, dst, size, self.now)
+        # Propagate causality on anything that can carry it (Request
+        # envelopes have a trace_ctx field; payload messages do not).
+        ctx = getattr(message, "trace_ctx", False)
+        if ctx is None and self.current is not None:
+            ctx = SpanContext(self.current)
+            message.trace_ctx = ctx
+        span = self.event(
+            "msg", "net",
+            duration=latency if latency is not None else 0.0,
+            node=src, src=src, dst=dst, size=size,
+        )
+        if ctx:
+            ctx.sent_at = self.now
+            if latency is not None:
+                ctx.deliver_at = self.now + latency
+        if span is not None and latency is None:
+            # The network model could not price this message up front
+            # (e.g. the Ethernet bus queues it); mark the span so the
+            # analyzer treats it as a zero-width marker, with transit
+            # time surfacing as receiver-side queueing instead.
+            span.args["queued"] = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """All parentless spans, in creation (= start) order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_index(self) -> Dict[Optional[int], List[Span]]:
+        """Map parent span id -> children in creation order."""
+        index: Dict[Optional[int], List[Span]] = {}
+        for span in self.spans:
+            index.setdefault(span.parent_id, []).append(span)
+        return index
+
+    def find(self, name_prefix: str) -> List[Span]:
+        return [s for s in self.spans if s.name.startswith(name_prefix)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Observability({len(self.spans)} spans, "
+            f"{len(self.metrics)} metrics)"
+        )

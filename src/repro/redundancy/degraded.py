@@ -121,6 +121,14 @@ class DegradedReader:
         holds it.
         """
         file = self.file
+        obs = file.node.machine.sim.obs
+        span = None
+        prev = None
+        if obs is not None:
+            prev = obs.current
+            span = obs.begin("degraded_read", "client", node=file.node.index)
+            obs.set_current(span)
+            obs.metrics.counter("redundancy.degraded_read").inc()
         if not locked:
             yield self.file._lock.acquire()
         try:
@@ -152,5 +160,8 @@ class DegradedReader:
 
             return xor_blocks(*parts)
         finally:
+            if obs is not None:
+                obs.end(span, stripe=stripe, missing_slot=missing_slot)
+                obs.set_current(prev)
             if not locked:
                 self.file._lock.release()

@@ -23,7 +23,10 @@ from repro.sim.events import Signal
 class Process:
     """A running simulated process.  Created via :meth:`Simulator.spawn`."""
 
-    __slots__ = ("sim", "gen", "name", "daemon", "done", "result", "completion")
+    __slots__ = (
+        "sim", "gen", "name", "daemon", "done", "result", "completion",
+        "obs_ctx",
+    )
 
     def __init__(self, sim, gen, name: str = "process", daemon: bool = False) -> None:
         if not hasattr(gen, "send"):
@@ -38,11 +41,19 @@ class Process:
         self.done = False
         self.result: Any = None
         self.completion = Signal(sim)
+        # Observability span context (S19): the span this process's work
+        # belongs to.  Restored into sim.obs.current at every step so the
+        # "current span" survives interleaved process execution.
+        self.obs_ctx = None
 
     # ------------------------------------------------------------------
 
     def _step(self, value: Any) -> None:
         """Advance the generator by one yield.  Called by the kernel only."""
+        obs = self.sim.obs
+        if obs is not None:
+            obs.current = self.obs_ctx
+            obs.current_process = self
         try:
             target = self.gen.send(value)
         except StopIteration as stop:

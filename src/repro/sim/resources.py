@@ -64,6 +64,10 @@ class Resource:
             process, enqueued_at = self._waiters.popleft()
             self.total_wait_time += self.sim.now - enqueued_at
             self.total_acquires += 1
+            if self.sim.obs is not None:
+                self.sim.obs.timeline.record_queue_depth(
+                    self.name, self.sim.now, len(self._waiters)
+                )
             process.sim._schedule(0.0, process._step, None)
         else:
             self.in_use -= 1
@@ -117,6 +121,10 @@ class _Acquire:
             resource._grant_now(process)
         else:
             resource._waiters.append((process, resource.sim.now))
+            if resource.sim.obs is not None:
+                resource.sim.obs.timeline.record_queue_depth(
+                    resource.name, resource.sim.now, len(resource._waiters)
+                )
 
 
 class Lock(Resource):

@@ -34,13 +34,23 @@ class Simulator:
     trace:
         Optional :class:`repro.sim.trace.Tracer`; when ``None`` tracing is
         disabled and costs nothing.
+    obs:
+        Optional :class:`repro.obs.Observability` (S19).  When ``None``
+        (the default) observability is disabled; instrumented layers
+        guard every touch point with ``if sim.obs is not None``, and an
+        attached instance records synchronously — the simulation event
+        sequence is identical either way.
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None) -> None:
+    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None,
+                 obs=None) -> None:
         self.now: float = 0.0
         self.trace = trace
         if trace is not None:
             trace.attach(self)
+        self.obs = obs
+        if obs is not None:
+            obs.attach(self)
         self.random = RandomStreams(seed)
         self._heap: List[Tuple[float, int, Callable, Any]] = []
         self._seq = 0
@@ -80,6 +90,11 @@ class Simulator:
         :meth:`run` to succeed.
         """
         process = Process(self, generator, name=name, daemon=daemon)
+        if self.obs is not None:
+            # spawn() runs synchronously inside the spawner's step, so the
+            # current span is the causal parent of the new process's work
+            # (covers Detached handlers and prefetch workers).
+            process.obs_ctx = self.obs.current
         self._processes.append(process)
         self._schedule(0.0, process._step, None)
         if self.trace is not None:

@@ -7,6 +7,17 @@ guards with ``if sim.trace is not None`` so disabled tracing is free.
 Traces are bounded by ``capacity`` (a ring buffer) so a long simulation
 cannot exhaust memory; set ``capacity=None`` for unbounded capture in
 short tests.
+
+Accounting semantics: ``counts`` tallies every ``record()`` call by kind
+— including kind-filtered records and records the ring buffer has since
+evicted — so ``counts`` totals can legitimately exceed
+``len(records())``.  ``dropped`` counts exactly the records that were
+appended and later evicted by the ring; the invariant is::
+
+    sum(counts.values()) == len(tracer) + tracer.dropped + filtered
+
+where ``filtered`` is the number of calls rejected by the ``kinds``
+filter (never appended, hence never "dropped").
 """
 
 from __future__ import annotations
@@ -32,8 +43,11 @@ class Tracer:
         kinds: Optional[Iterable[str]] = None,
     ) -> None:
         self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._capacity = capacity
         self._kinds = set(kinds) if kinds is not None else None
         self.counts: Counter = Counter()
+        #: Records evicted by the ring buffer (appended, then displaced).
+        self.dropped: int = 0
         self._sim = None
 
     def attach(self, sim) -> "Tracer":
@@ -47,6 +61,8 @@ class Tracer:
         if self._kinds is not None and kind not in self._kinds:
             return
         time = self._sim.now if self._sim is not None else 0.0
+        if self._capacity is not None and len(self._records) == self._capacity:
+            self.dropped += 1
         self._records.append(TraceRecord(time, kind, fields))
 
     # ------------------------------------------------------------------

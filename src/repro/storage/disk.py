@@ -23,7 +23,8 @@ from repro.storage.scheduler import FCFSScheduler
 
 
 class _DiskRequest:
-    __slots__ = ("op", "block", "data", "waiter", "enqueued_at", "result", "error")
+    __slots__ = ("op", "block", "data", "waiter", "enqueued_at", "result",
+                 "error", "wait", "service")
 
     def __init__(self, op: str, block: int, data: Optional[bytes], now: float) -> None:
         self.op = op
@@ -33,6 +34,10 @@ class _DiskRequest:
         self.enqueued_at = now
         self.result: Optional[bytes] = None
         self.error: Optional[Exception] = None
+        # Stamped by the driver loop so the caller's observability span
+        # can split its interval into queueing vs. arm service.
+        self.wait: Optional[float] = None
+        self.service: Optional[float] = None
 
 
 class _Submit:
@@ -47,6 +52,12 @@ class _Submit:
     def _wait(self, process) -> None:
         self.request.waiter = process
         self.disk._pending.append(self.request)
+        obs = self.disk.sim.obs
+        if obs is not None:
+            obs.timeline.record_queue_depth(
+                f"{self.disk.name}.queue", self.disk.sim.now,
+                len(self.disk._pending),
+            )
         self.disk._wakeup.deliver(None)
 
 
@@ -78,6 +89,9 @@ class SimulatedDisk:
         self.busy_time = 0.0
         self.wait_times = Summary(f"{self.name}.wait")
         self.service_times = Summary(f"{self.name}.service")
+        # Node index for observability spans (disks have no node of their
+        # own; the harness sets this to the owning LFS node).
+        self.obs_node: Optional[int] = None
         sim.spawn(self._loop(), name=f"{self.name}.driver", daemon=True)
 
     # ------------------------------------------------------------------
@@ -87,7 +101,13 @@ class SimulatedDisk:
     def read(self, block: int):
         """Read one block; returns its bytes (zeros if never written)."""
         request = _DiskRequest("read", block, None, self.sim.now)
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            span = obs.begin(f"{self.name}.read", "disk", node=self.obs_node)
         result = yield _Submit(self, request)
+        if obs is not None:
+            obs.end(span, block=block, wait=result.wait, service=result.service)
         if result.error is not None:
             raise result.error
         return result.result
@@ -95,7 +115,13 @@ class SimulatedDisk:
     def write(self, block: int, data: bytes):
         """Write one block (data must not exceed the block size)."""
         request = _DiskRequest("write", block, bytes(data), self.sim.now)
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            span = obs.begin(f"{self.name}.write", "disk", node=self.obs_node)
         result = yield _Submit(self, request)
+        if obs is not None:
+            obs.end(span, block=block, wait=result.wait, service=result.service)
         if result.error is not None:
             raise result.error
         return None
@@ -154,10 +180,22 @@ class SimulatedDisk:
             service, new_position = self.latency.access(
                 self._rng, self.head_position, request.block, sim.now
             )
-            self.wait_times.observe(sim.now - request.enqueued_at)
+            wait = sim.now - request.enqueued_at
+            request.wait = wait
+            request.service = service
+            self.wait_times.observe(wait)
             self.service_times.observe(service)
+            obs = sim.obs
+            if obs is not None:
+                obs.timeline.record_queue_depth(
+                    f"{self.name}.queue", sim.now, len(self._pending)
+                )
+                obs.metrics.histogram(f"{self.name}.service").observe(service)
+                obs.metrics.histogram(f"{self.name}.wait").observe(wait)
             yield Timeout(service)
             self.busy_time += service
+            if obs is not None:
+                obs.timeline.record_disk_busy(self.name, sim.now - service, sim.now)
             self.head_position = new_position
             self._perform(request)
             sim._schedule(0.0, request.waiter._step, request)

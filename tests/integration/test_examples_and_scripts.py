@@ -61,6 +61,17 @@ def test_disordered_files_example():
     assert "verified: contents and order preserved" in out
 
 
+def test_observability_example():
+    out = run_script(EXAMPLES / "observability.py")
+    assert "call.seq_read [client]" in out
+    assert "partition total" in out
+    assert "disk busy fractions" in out
+    assert "Perfetto" in out
+    trace = REPO / "trace_observability.json"
+    assert trace.exists()
+    trace.unlink()  # keep the repo clean
+
+
 def test_reproduction_script_quick():
     out = run_script(REPO / "scripts" / "run_reproduction.py", "--quick",
                      timeout=400)

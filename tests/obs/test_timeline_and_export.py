@@ -1,0 +1,124 @@
+"""Unit tests for utilization timelines and the Chrome trace exporter."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Observability,
+    QueueSamples,
+    UtilizationTimeline,
+    chrome_trace_document,
+    export_chrome_trace,
+    validate_trace_document,
+)
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_disk_busy_fraction_clips_to_window():
+    timeline = UtilizationTimeline()
+    timeline.record_disk_busy("disk0", 0.0, 1.0)
+    timeline.record_disk_busy("disk0", 2.0, 4.0)
+    disk = timeline.disks["disk0"]
+    assert disk.ops == 2
+    assert disk.busy_total == pytest.approx(3.0)
+    assert disk.busy_fraction(0.0, 4.0) == pytest.approx(0.75)
+    # window clipping: only [2, 3] of the second segment counts
+    assert disk.busy_fraction(0.5, 3.0) == pytest.approx(1.5 / 2.5)
+    assert disk.busy_fraction(5.0, 5.0) == 0.0
+    assert timeline.disk_busy_fractions(0.0, 4.0) == {"disk0": 0.75}
+
+
+def test_node_traffic_counts_both_directions():
+    timeline = UtilizationTimeline()
+    timeline.record_message(src=1, dst=2, size=100, time=0.0)
+    timeline.record_message(src=1, dst=2, size=50, time=1.0)
+    assert timeline.nodes[1].messages_sent == 2
+    assert timeline.nodes[1].bytes_sent == 150
+    assert timeline.nodes[2].messages_received == 2
+    assert timeline.nodes[2].bytes_received == 150
+
+
+def test_queue_samples_cap_and_mean_depth():
+    samples = QueueSamples(capacity=3)
+    for t, depth in ((0.0, 1), (1.0, 3), (2.0, 1), (3.0, 5)):
+        samples.record(t, depth)
+    assert len(samples.samples) == 3
+    assert samples.dropped == 1
+    assert samples.max_depth == 5  # max tracks even dropped samples
+    # time-weighted over the retained stream: 1*1 + 3*1 over 2 seconds
+    assert samples.mean_depth() == pytest.approx(2.0)
+    assert QueueSamples().mean_depth() == 0.0
+
+
+def test_timeline_snapshot_is_plain_data():
+    timeline = UtilizationTimeline()
+    timeline.record_disk_busy("disk0", 0.0, 1.0)
+    timeline.record_message(0, 1, 64, 0.5)
+    timeline.record_queue_depth("disk0.queue", 0.5, 2)
+    snapshot = timeline.snapshot()
+    json.dumps(snapshot, allow_nan=False)
+    assert snapshot["disks"]["disk0"]["ops"] == 1
+    assert snapshot["nodes"]["0"]["messages_sent"] == 1
+    assert snapshot["queues"]["disk0.queue"]["max_depth"] == 2
+
+
+def _obs_with_tree():
+    obs = Observability()
+    sim = FakeSim()
+    obs.attach(sim)
+    root = obs.begin("call.read", "client", node=2)
+    obs.set_current(root)
+    sim.now = 0.001
+    child = obs.begin("bridge.read", "server", node=1)
+    sim.now = 0.002
+    obs.end(child)
+    sim.now = 0.003
+    obs.end(root)
+    obs.begin("unfinished", "net")  # must be skipped by the exporter
+    return obs
+
+
+def test_chrome_trace_document_structure():
+    obs = _obs_with_tree()
+    document = chrome_trace_document(obs)
+    assert validate_trace_document(document) == []
+    complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert len(complete) == 2  # the unfinished span is not exported
+    by_name = {e["name"]: e for e in complete}
+    root_event = by_name["call.read"]
+    child_event = by_name["bridge.read"]
+    assert root_event["pid"] == 2 and child_event["pid"] == 1
+    assert child_event["args"]["parent_id"] == root_event["args"]["span_id"]
+    assert child_event["ts"] == pytest.approx(1000.0)  # microseconds
+    assert child_event["dur"] == pytest.approx(1000.0)
+    # metadata names every node row
+    meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in meta} >= {"node 1", "node 2"}
+
+
+def test_export_chrome_trace_bytes_are_deterministic(tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    export_chrome_trace(_obs_with_tree(), str(first))
+    export_chrome_trace(_obs_with_tree(), str(second))
+    assert first.read_bytes() == second.read_bytes()
+    assert validate_trace_document(json.loads(first.read_text())) == []
+
+
+def test_validate_trace_document_reports_problems():
+    assert validate_trace_document({}) == ["traceEvents missing or not a list"]
+    bad = {"traceEvents": [
+        "not-an-object",
+        {"ph": "Z", "name": "x", "pid": 0, "tid": 0},
+        {"ph": "X", "name": 3, "pid": 0, "tid": 0, "ts": -1.0, "dur": 0.0},
+    ]}
+    problems = validate_trace_document(bad)
+    assert any("not an object" in p for p in problems)
+    assert any("unexpected phase" in p for p in problems)
+    assert any("bad 'name'" in p for p in problems)
+    assert any("bad 'ts'" in p for p in problems)

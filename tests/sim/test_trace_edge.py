@@ -35,6 +35,44 @@ def test_tracer_ring_buffer_caps_memory():
     assert tracer.counts["spawn"] == 20  # counters are not capped
 
 
+def test_tracer_dropped_counter_accounts_for_evictions():
+    # Regression: ``counts`` keeps incrementing after the ring starts
+    # evicting, so ``counts`` and ``records()`` silently disagreed.  The
+    # ``dropped`` counter makes the discrepancy explicit and auditable.
+    tracer = Tracer(capacity=5)
+    for i in range(8):
+        tracer.record("evt", index=i)
+    assert len(tracer) == 5
+    assert tracer.counts["evt"] == 8
+    assert tracer.dropped == 3
+    assert sum(tracer.counts.values()) == len(tracer) + tracer.dropped
+    # the ring kept the newest records, not the oldest
+    assert [r.fields["index"] for r in tracer.records("evt")] == [3, 4, 5, 6, 7]
+
+
+def test_tracer_dropped_excludes_kind_filtered_records():
+    # Filtered-out records are never appended, so they are counted in
+    # ``counts`` but not in ``dropped``.
+    tracer = Tracer(capacity=2, kinds={"keep"})
+    for i in range(4):
+        tracer.record("keep", index=i)
+        tracer.record("skip", index=i)
+    assert tracer.counts["keep"] == 4
+    assert tracer.counts["skip"] == 4
+    assert len(tracer) == 2
+    assert tracer.dropped == 2  # only evicted "keep" records
+    filtered = tracer.counts["skip"]
+    assert sum(tracer.counts.values()) == len(tracer) + tracer.dropped + filtered
+
+
+def test_tracer_unbounded_never_drops():
+    tracer = Tracer(capacity=None)
+    for i in range(1000):
+        tracer.record("evt", index=i)
+    assert len(tracer) == 1000
+    assert tracer.dropped == 0
+
+
 def test_tracer_clear_keeps_counts():
     tracer = Tracer()
     tracer.record("custom", value=1)
