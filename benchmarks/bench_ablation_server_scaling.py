@@ -1,77 +1,183 @@
-"""E17 — the Bridge Server bottleneck and its distributed remedy.
+"""E17 / S20 — the Bridge Server bottleneck and its partitioned remedy.
 
 Section 4.1: "If requests to the server are frequent enough to cause a
 bottleneck, the same functionality could be provided by a distributed
 collection of processes."  This bench drives many concurrent naive
-clients against 1, 2, and 4 hash-partitioned Bridge Servers and measures
-the makespan.
+clients through a *mixed* workload — create, sequential write, a full
+sequential read-back, a strided list read, and a random
+read-modify-write — against 1, 2, and 4 hash-partitioned Bridge Servers
+and measures the makespan and the aggregate naive-view throughput.
+
+Each row also carries the S20 routing model's speedup bound
+(:func:`repro.analysis.fabric_speedup_bound`): with a finite set of
+names hashed over k partitions the best case is sum/max of the
+per-partition loads, so the measured speedup must sit at or below it.
+
+Besides the human-readable table under ``benchmarks/results/``, the
+sweep writes machine-readable ``BENCH_server_scaling.json`` at the repo
+root so future PRs can track the trajectory.
+
+Also runnable as a script (the CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_server_scaling.py --quick
 """
 
-from _emit import write_bench_json
-from benchmarks.conftest import emit, run_once
+import pathlib
+import sys
+
+from _emit import bench_json_path, write_bench_json
 from repro.analysis import format_table
+from repro.analysis.models import fabric_speedup_bound
 from repro.harness.builders import BridgeSystem
+
+JSON_PATH = bench_json_path("server_scaling")
 
 CLIENTS = 12
 BLOCKS = 12
+SERVER_COUNTS = (1, 2, 4)
 
 
-def makespan(servers: int) -> float:
-    system = BridgeSystem(4, seed=73, bridge_server_count=servers)
-    clients = [system.partitioned_client() for _ in range(CLIENTS)]
+def run_mixed(servers: int, clients: int = CLIENTS,
+              blocks: int = BLOCKS, seed: int = 73) -> dict:
+    """One arm: ``clients`` concurrent mixed-workload naive clients."""
+    system = BridgeSystem(4, seed=seed, bridge_server_count=servers)
+    names = [f"c{i}" for i in range(clients)]
+    moved = [0]
 
     def worker(index, client):
-        name = f"c{index}"
+        name = names[index]
         yield from client.create(name)
-        for _b in range(BLOCKS):
+        for _b in range(blocks):
             yield from client.seq_write(name, b"w" * 64)
+            moved[0] += 1
         yield from client.open(name)
         while True:
             block, _data = yield from client.seq_read(name)
             if block is None:
-                return
+                break
+            moved[0] += 1
+        # Mixed tail: a strided list read plus a random RMW pair.
+        picked = yield from client.list_read(name, list(range(0, blocks, 3)))
+        moved[0] += len(picked)
+        target = (index * 5) % blocks
+        yield from client.random_write(name, target, b"rw" * 8)
+        data = yield from client.random_read(name, target)
+        assert data.startswith(b"rw")
+        moved[0] += 2
 
+    handles = [system.naive_client() for _ in range(clients)]
     processes = [
         system.client_node.spawn(worker(i, c), name=f"client{i}")
-        for i, c in enumerate(clients)
+        for i, c in enumerate(handles)
     ]
     system.sim.run()
     assert all(p.done for p in processes)
-    return system.sim.now
+    makespan = system.sim.now
+    return {
+        "servers": servers,
+        "clients": clients,
+        "blocks": blocks,
+        "makespan_seconds": makespan,
+        "blocks_moved": moved[0],
+        "throughput_blocks_per_second": moved[0] / makespan,
+        "route_bound": fabric_speedup_bound(names, servers),
+    }
 
 
-def sweep():
-    return {servers: makespan(servers) for servers in (1, 2, 4)}
+def sweep(quick: bool = False):
+    if quick:
+        # 8 client names hash 4/4 over two partitions, so even the smoke
+        # arm has real routing parallelism to show.
+        return [run_mixed(servers, clients=8, blocks=4)
+                for servers in (1, 2)]
+    return [run_mixed(servers) for servers in SERVER_COUNTS]
+
+
+def check(rows) -> None:
+    base = rows[0]
+    for row in rows:
+        # Same logical work in every arm; only the makespan moves.
+        assert row["blocks_moved"] == base["blocks_moved"], row
+        speedup = base["makespan_seconds"] / row["makespan_seconds"]
+        # Partitioning cannot beat the routing model's load-balance bound
+        # (epsilon for float division).
+        assert speedup <= row["route_bound"] + 1e-9, (speedup, row)
+    # Aggregate naive-view throughput improves monotonically with the
+    # partition count — the central server was the bottleneck.
+    throughputs = [row["throughput_blocks_per_second"] for row in rows]
+    assert all(b > a for a, b in zip(throughputs, throughputs[1:])), throughputs
+    if len(rows) >= 3:
+        assert rows[0]["makespan_seconds"] / rows[-1]["makespan_seconds"] > 1.6
+
+
+def render(rows) -> str:
+    base = rows[0]
+    table_rows = [
+        [
+            row["servers"],
+            row["makespan_seconds"],
+            row["throughput_blocks_per_second"],
+            base["makespan_seconds"] / row["makespan_seconds"],
+            row["route_bound"],
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["bridge servers", "makespan (s)", "blocks/s", "speedup", "route bound"],
+        table_rows,
+        title=(
+            f"{base['clients']} concurrent naive clients, mixed workload "
+            f"per file ({base['blocks']} seq writes + full read-back + "
+            "strided list read + random RMW)"
+        ),
+    )
+
+
+def to_json(rows) -> dict:
+    base = rows[0]
+    return {
+        "clients": base["clients"],
+        "blocks_per_file": base["blocks"],
+        "workload": "create + seq write + seq read-back + list read + random rmw",
+        "by_servers": {
+            str(row["servers"]): {
+                "makespan_seconds": row["makespan_seconds"],
+                "blocks_moved": row["blocks_moved"],
+                "throughput_blocks_per_second":
+                    row["throughput_blocks_per_second"],
+                "speedup": base["makespan_seconds"] / row["makespan_seconds"],
+                "route_bound": row["route_bound"],
+            }
+            for row in rows
+        },
+    }
 
 
 def test_server_scaling(benchmark):
-    times = run_once(benchmark, sweep)
-    rows = [
-        [servers, elapsed, times[1] / elapsed]
-        for servers, elapsed in sorted(times.items())
-    ]
-    emit(
-        "ablation_server_scaling",
-        format_table(
-            ["bridge servers", "makespan (s)", "speedup"],
-            rows,
-            title=(
-                f"{CLIENTS} concurrent naive clients, {BLOCKS}-block files "
-                "each (create + write + read back)"
-            ),
-        ),
-    )
-    write_bench_json("server_scaling", {
-        "clients": CLIENTS,
-        "blocks_per_file": BLOCKS,
-        "by_servers": {
-            str(servers): {
-                "makespan_seconds": elapsed,
-                "speedup": times[1] / elapsed,
-            }
-            for servers, elapsed in sorted(times.items())
-        },
-    })
-    assert times[2] < times[1]
-    assert times[4] < times[2]
-    assert times[1] / times[4] > 1.6  # the central server was the bottleneck
+    from benchmarks.conftest import emit, run_once
+
+    rows = run_once(benchmark, sweep)
+    emit("ablation_server_scaling", render(rows))
+    write_bench_json("server_scaling", to_json(rows))
+    check(rows)
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    rows = sweep(quick=quick)
+    text = render(rows)
+    print(text)
+    if not quick:
+        results_dir = pathlib.Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "ablation_server_scaling.txt").write_text(text + "\n")
+        write_bench_json("server_scaling", to_json(rows))
+        print(f"wrote {JSON_PATH.name}")
+    check(rows)
+    print("server scaling ablation: all assertions passed"
+          + (" (quick mode)" if quick else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

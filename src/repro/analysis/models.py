@@ -10,7 +10,7 @@ from simulated data.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 # ---------------------------------------------------------------------------
 # Table 2: Bridge operations (milliseconds; n = file size in blocks)
@@ -293,6 +293,54 @@ def naive_read_seconds_per_block(config=None, disk_latency: float = 0.015,
     return sum(naive_read_components(
         1, config=config, disk_latency=disk_latency, resident=resident
     ).values())
+
+
+# ---------------------------------------------------------------------------
+# S20: per-partition cost model (hash-partitioned Bridge fabric)
+# ---------------------------------------------------------------------------
+
+
+def partition_load(names: Sequence[str], servers: int,
+                   requests: Optional[Dict[str, int]] = None) -> List[int]:
+    """Exact per-partition request counts under crc32 hash routing.
+
+    ``requests`` optionally weights each name by its request count
+    (weight 1 per name otherwise).  The hash is the production one
+    (:func:`repro.core.partitioned.partition_of`), so these counts are
+    exact, not estimates — the model part is using them to predict the
+    fabric's behavior without running it.
+    """
+    from repro.core.partitioned import partition_of
+
+    loads = [0] * servers
+    weights = requests or {}
+    for name in names:
+        loads[partition_of(name, servers)] += weights.get(name, 1)
+    return loads
+
+
+def fabric_speedup_bound(names: Sequence[str], servers: int,
+                         requests: Optional[Dict[str, int]] = None) -> float:
+    """Upper bound on central-server relief from partitioning.
+
+    Total server work divided by the hottest partition's share: the
+    server stage of the aggregate makespan improves by at most this
+    factor (perfect balance gives ``servers``; one hot name gives 1.0).
+    Disks and the interconnect may bottleneck earlier, so measured
+    speedups sit at or below this bound.
+    """
+    loads = partition_load(names, servers, requests)
+    peak = max(loads) if loads else 0
+    return (sum(loads) / peak) if peak else float(servers)
+
+
+def fabric_server_seconds(names: Sequence[str], servers: int,
+                          per_request_seconds: float,
+                          requests: Optional[Dict[str, int]] = None) -> float:
+    """Predicted server-stage critical time on a fabric: the hottest
+    partition's request count times the per-request service charge."""
+    loads = partition_load(names, servers, requests)
+    return (max(loads) if loads else 0) * per_request_seconds
 
 
 # ---------------------------------------------------------------------------

@@ -60,10 +60,16 @@ class LFSHandle:
 
 @dataclass
 class SystemInfo:
-    """The Get Info package: the middle-layer structure of the system."""
+    """The Get Info package: the middle-layer structure of the system.
+
+    ``server_ports`` is populated by the partitioned fabric's aggregated
+    Get Info: every partition's request port, in partition order (empty
+    for a single centralized server, whose port is ``server_port``).
+    """
 
     lfs: List[LFSHandle] = field(default_factory=list)
     server_port: Optional[object] = None
+    server_ports: List[object] = field(default_factory=list)
 
     @property
     def width(self) -> int:

@@ -54,20 +54,30 @@ class JobInfo:
 
 
 class JobController:
-    """Controller-side helper: issues parallel opens/reads/writes."""
+    """Controller-side helper: issues parallel opens/reads/writes.
+
+    ``server_port`` may be a plain server :class:`Port` or a partitioned
+    fabric router (anything with ``port_for(name)``): the owning
+    partition is resolved once at :meth:`open`, and the job's subsequent
+    reads/writes/close stay on that partition.
+    """
 
     def __init__(self, node, server_port: Port, name: str = "controller") -> None:
         self.node = node
         self.server_port = server_port
         self._rpc = Client(node, name)
         self.job: Optional[JobInfo] = None
+        self._job_port: Optional[Port] = None
 
     def open(self, name: str, worker_ports: List[Port]):
         """Group the workers into a job on ``name``; returns JobInfo."""
+        port_for = getattr(self.server_port, "port_for", None)
+        port = port_for(name) if port_for is not None else self.server_port
         job = yield from self._rpc.call(
-            self.server_port, "parallel_open", name=name, worker_ports=worker_ports
+            port, "parallel_open", name=name, worker_ports=worker_ports
         )
         self.job = job
+        self._job_port = port
         return job
 
     def read(self):
@@ -76,7 +86,7 @@ class JobController:
         self._require_job()
         return (
             yield from self._rpc.call(
-                self.server_port, "parallel_read", job_id=self.job.job_id
+                self._job_port, "parallel_read", job_id=self.job.job_id
             )
         )
 
@@ -90,7 +100,7 @@ class JobController:
         self._require_job()
         return (
             yield from self._rpc.call(
-                self.server_port, "parallel_write", job_id=self.job.job_id
+                self._job_port, "parallel_write", job_id=self.job.job_id
             )
         )
 
@@ -100,7 +110,7 @@ class JobController:
         job_id, self.job = self.job.job_id, None
         return (
             yield from self._rpc.call(
-                self.server_port, "parallel_close", job_id=job_id
+                self._job_port, "parallel_close", job_id=job_id
             )
         )
 

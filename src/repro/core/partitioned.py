@@ -12,48 +12,108 @@ No cross-server coordination is needed because every file belongs to
 exactly one partition — the simplest correct realization of the paper's
 remark, and enough to remove the central-server ceiling the E17 bench
 measures.
+
+Since S20 the partitioned namespace is a first-class *fabric*, not a
+naive-view shim: :class:`PartitionedBridge` is the router every surface
+accepts — :class:`PartitionedClient` carries the complete
+:class:`~repro.core.client.BridgeClient` API (naive ops, list I/O,
+block maps, cross-partition ``Get Info``),
+:class:`~repro.core.parallel.JobController` and the tool framework
+resolve their owning partition at open/create time, and the S16
+redundancy wrappers plus the S18 cache/prefetcher (one instance per
+partition) work unchanged at ``bridge_server_count > 1``.  S19 spans
+propagate through every routed call, so one trace renders per-partition
+server rows with cross-partition fan-out edges.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.core.client import BridgeClient
+from repro.core.info import SystemInfo
 from repro.core.server import BridgeServer
-from repro.machine import Port
+from repro.errors import BridgeBadRequestError
+from repro.machine import Port, gather
 
 
 def partition_of(name: str, partitions: int) -> int:
-    """Deterministic partition index for a file name."""
+    """Deterministic partition index for a file name.
+
+    Stable across runs and across client instances (crc32 of the name);
+    the partition *count* is part of the deployment, so the same name
+    may land elsewhere when the fabric is resized — callers that resize
+    must recreate files (see the cache-coherence fabric tests).
+    """
     if partitions < 1:
         raise ValueError("need at least one partition")
     return zlib.crc32(name.encode()) % partitions
 
 
 class PartitionedBridge:
-    """Routes each file name to its owning Bridge Server."""
+    """Routes each file name to its owning Bridge Server.
+
+    This is the fabric handle: anything that accepts a server ``Port``
+    for per-name operations can accept one of these instead and resolve
+    the partition with :meth:`port_for` (the tool framework and
+    :class:`~repro.core.parallel.JobController` do exactly that).
+    """
 
     def __init__(self, servers: List[BridgeServer]) -> None:
         if not servers:
             raise ValueError("need at least one Bridge Server")
         self.servers = list(servers)
 
+    @property
+    def partitions(self) -> int:
+        return len(self.servers)
+
+    @property
+    def ports(self) -> List[Port]:
+        """Every partition's request port, in partition order."""
+        return [server.port for server in self.servers]
+
+    def partition_of(self, name: str) -> int:
+        return partition_of(name, len(self.servers))
+
     def server_for(self, name: str) -> BridgeServer:
-        return self.servers[partition_of(name, len(self.servers))]
+        return self.servers[self.partition_of(name)]
 
     def port_for(self, name: str) -> Port:
         return self.server_for(name).port
+
+    def cache_stats(self) -> Optional[Dict[str, object]]:
+        """Aggregate S18 cache/prefetch counters across partitions
+        (``None`` when every partition runs cache-off)."""
+        per_partition = [server.bridge_cache_stats() for server in self.servers]
+        live = [stats for stats in per_partition if stats is not None]
+        if not live:
+            return None
+        totals: Dict[str, object] = {}
+        for stats in live:
+            for key, value in stats.items():
+                if isinstance(value, (int, float)) and key != "hit_rate":
+                    totals[key] = totals.get(key, 0) + value
+        probes = (totals.get("hits", 0) or 0) + (totals.get("misses", 0) or 0)
+        totals["hit_rate"] = (totals.get("hits", 0) / probes) if probes else 0.0
+        totals["partitions"] = len(self.servers)
+        totals["partitions_with_cache"] = len(live)
+        return totals
 
     def __len__(self) -> int:
         return len(self.servers)
 
 
 class PartitionedClient:
-    """Naive-view client over a partitioned server collection.
+    """The complete client surface over a partitioned server collection.
 
-    One underlying :class:`BridgeClient` per partition; every operation
-    routes by file name, so callers use it exactly like a plain client.
+    One underlying :class:`BridgeClient` per partition; every per-name
+    operation routes by file name, so callers use it exactly like a
+    plain client — the API-parity test asserts the surfaces match
+    signature-for-signature.  ``Get Info`` is the one cross-partition
+    operation: it fans out to every partition in a single windowed
+    gather and aggregates the package.
     """
 
     def __init__(self, node, bridge: PartitionedBridge,
@@ -66,14 +126,23 @@ class PartitionedClient:
         ]
 
     def _client(self, name: str) -> BridgeClient:
-        return self._clients[partition_of(name, len(self._clients))]
+        return self._clients[self.bridge.partition_of(name)]
 
     # ------------------------------------------------------------------
     # Routed operations (same surface as BridgeClient)
     # ------------------------------------------------------------------
 
-    def create(self, name, **kwargs):
-        return (yield from self._client(name).create(name, **kwargs))
+    def create(self, name, width=None, node_slots=None, start=0,
+               disordered=False):
+        return (
+            yield from self._client(name).create(
+                name, width=width, node_slots=node_slots, start=start,
+                disordered=disordered,
+            )
+        )
+
+    def get_block_map(self, name):
+        return (yield from self._client(name).get_block_map(name))
 
     def delete(self, name):
         return (yield from self._client(name).delete(name))
@@ -95,12 +164,61 @@ class PartitionedClient:
             yield from self._client(name).random_write(name, block_number, data)
         )
 
+    def list_read(self, name, pattern):
+        return (yield from self._client(name).list_read(name, pattern))
+
+    def list_write(self, name, pattern, chunks=None):
+        return (
+            yield from self._client(name).list_write(name, pattern, chunks=chunks)
+        )
+
     def read_all(self, name):
         return (yield from self._client(name).read_all(name))
 
     def write_all(self, name, chunks):
         return (yield from self._client(name).write_all(name, chunks))
 
+    # ------------------------------------------------------------------
+    # Cross-partition operations
+    # ------------------------------------------------------------------
+
     def get_info(self):
-        """Get Info from partition 0 (all partitions share the LFS set)."""
-        return (yield from self._clients[0].get_info())
+        """Aggregate ``Get Info`` across every partition.
+
+        One fan-out (so a count-4 trace shows one client span with legs
+        to four server rows); the partitions must agree on the LFS set —
+        they always do in a well-formed fabric, and disagreement is a
+        wiring bug worth failing loudly on.  The merged package carries
+        every partition's request port in ``server_ports``.
+        """
+        obs = self.node.machine.sim.obs
+        span = None
+        prev = None
+        if obs is not None:
+            # One client span over the whole fan-out, so the four gather
+            # legs (and the per-partition handler spans under them) hang
+            # off a single root in the exported trace.
+            prev = obs.current
+            span = obs.begin("pclient.get_info", "client",
+                             node=self.node.index)
+            obs.set_current(span)
+        calls = [(port, "get_info", {}, 0) for port in self.bridge.ports]
+        try:
+            infos = yield from gather(self.node, calls)
+        finally:
+            if obs is not None:
+                obs.end(span, partitions=len(calls))
+                obs.set_current(prev)
+        first = infos[0]
+        layout = [handle.node_index for handle in first.lfs]
+        for index, info in enumerate(infos[1:], start=1):
+            if [handle.node_index for handle in info.lfs] != layout:
+                raise BridgeBadRequestError(
+                    f"partition {index} disagrees on the LFS set "
+                    f"(expected nodes {layout})"
+                )
+        return SystemInfo(
+            lfs=list(first.lfs),
+            server_port=first.server_port,
+            server_ports=[info.server_port for info in infos],
+        )

@@ -1,0 +1,506 @@
+"""S20: the staged Bridge request pipeline.
+
+Every Bridge Server operation used to hand-roll the same sequence —
+resolve the name, consult the S18 cache, forward to the right LFS
+instances, gather, thread disk-address hints back.  This module makes
+those stages explicit; the ``op_*`` handlers in
+:mod:`repro.core.server` are thin declarative compositions of them.
+
+The stages, in request order:
+
+1. **admission & resolution** — :meth:`RequestPipeline.admit` charges
+   the server CPU (``bridge_request``, plus the directory probe for
+   monitor operations); :meth:`resolve` consults the Bridge directory;
+   :meth:`commit` charges the directory-update cost after a mutation.
+2. **cache** — :meth:`probe` is the synchronous Bridge-cache lookup
+   (with S18 stream observation); :meth:`invalidate` is the
+   invalidate-before-issue write guard; :meth:`demand_read` is the
+   detached fill path with its generation-guarded install.
+3. **redundancy interposition** — :meth:`interpose_read` /
+   :meth:`interpose_write` walk the :attr:`interposers` chain, letting a
+   redundancy scheme serve a read (degraded XOR reconstruction) or
+   absorb a write (parity read-modify-write) before the plain fan-out.
+   The default chain is empty, which is byte-for-byte the unprotected
+   seed path.
+4. **fan-out/gather** — every EFS message leaves through
+   :meth:`fanout`, windowed by ``config.bridge_fanout_limit``;
+   :meth:`spawn_staged` (sequential initiation, overlapped completion —
+   the paper's section 4.5 create) and :meth:`spawn_tree` (relay-tree
+   broadcast) are the two non-gather spawn shapes.
+5. **prefetch feedback** — :meth:`feedback` threads next-block disk
+   addresses from completed transfers into the hint table; the
+   read-ahead top-up and inflight-wait coupling live on the demand and
+   parallel delivery paths.
+
+Adding an op handler means composing these stages, not re-implementing
+them; adding a redundancy scheme means appending an interposer, not
+editing seven handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import BLOCK_SIZE, DATA_BYTES_PER_BLOCK
+from repro.core.directory import BridgeFileEntry
+from repro.core.parallel import BlockDelivery, Deposit
+from repro.errors import BridgeBadRequestError, BridgeJobError
+from repro.machine import gather
+from repro.machine.rpc import Detached, Request
+from repro.sim import Timeout
+
+
+class RequestPipeline:
+    """The staged request engine of one Bridge Server instance."""
+
+    __slots__ = ("server", "interposers")
+
+    def __init__(self, server) -> None:
+        self.server = server
+        #: Redundancy interposition chain (stage 3).  Each entry may
+        #: implement ``read(entry, name, block) -> generator | None``
+        #: and/or ``write(entry, name, block, data) -> generator | None``;
+        #: returning a generator claims the access.
+        self.interposers: List[object] = []
+
+    # ------------------------------------------------------------------
+    # Stage 1: admission & resolution
+    # ------------------------------------------------------------------
+
+    def admit(self, probe: bool = False):
+        """Charge the per-request server CPU; monitor operations (the
+        directory mutators and Open) also pay the directory probe."""
+        cpu = self.server.config.cpu
+        yield Timeout(
+            cpu.bridge_request + (cpu.bridge_directory_probe if probe else 0)
+        )
+
+    def resolve(self, name: str) -> BridgeFileEntry:
+        """Name -> directory entry (raises BridgeFileNotFoundError)."""
+        return self.server.directory.lookup(name)
+
+    def commit(self):
+        """Charge the directory-update cost after a monitor mutation."""
+        yield Timeout(self.server.config.cpu.bridge_directory_update)
+
+    # ------------------------------------------------------------------
+    # Stage 2: cache
+    # ------------------------------------------------------------------
+
+    def probe(self, name: str, block: Optional[int] = None):
+        """Synchronous Bridge-cache lookup ahead of request admission.
+
+        ``block=None`` probes at the sequential cursor (advancing it on
+        a hit).  Returns a complete hit :class:`Response` — charged at
+        ``bridge_cache_hit`` instead of the full request decode — or
+        ``None`` to fall through to the full pipeline.  Misses also feed
+        the S18 stream detector (prefetch feedback starts here).
+        """
+        from repro.machine import Response
+
+        server = self.server
+        if server._cache is None:
+            return None
+        entry = server.directory.lookup(name)
+        sequential = block is None
+        target = server._cursors.get(name, 0) if sequential else block
+        if 0 <= target < entry.total_blocks:
+            if server._prefetcher is not None:
+                server._prefetcher.observe(entry, name, target)
+            data = server._cache.lookup(name, target)
+            if data is not None:
+                if sequential:
+                    server._cursors[name] = target + 1
+                yield Timeout(server.config.cpu.bridge_cache_hit)
+                value = (target, data) if sequential else data
+                return Response(value=value, size=len(data))
+        return None
+
+    def invalidate(self, name: str, *blocks: int) -> None:
+        """Invalidate-before-issue: drop cached copies *before* the EFS
+        write leaves so an in-flight read of the old value can never
+        install stale data later."""
+        if self.server._cache is not None:
+            for block in blocks:
+                self.server._cache.invalidate_block(name, block)
+
+    def evict_file(self, name: str) -> None:
+        """Full per-file eviction (create-over-delete, delete)."""
+        if self.server._cache is not None:
+            self.server._cache.invalidate_file(name)
+        if self.server._prefetcher is not None:
+            self.server._prefetcher.forget(name)
+
+    def cached_or_inflight(self, name: str, block: int):
+        """Cache lookup that also waits on an in-flight prefetch instead
+        of duplicating its EFS request (parallel delivery path)."""
+        server = self.server
+        if server._cache is None:
+            return None
+        data = server._cache.lookup(name, block)
+        if data is None and server._prefetcher is not None:
+            signal = server._prefetcher.inflight_signal(name, block)
+            if signal is not None:
+                data = yield signal
+                if data is not None:
+                    server._cache.mark_used(name, block)
+        return data
+
+    # ------------------------------------------------------------------
+    # Stage 3: redundancy interposition
+    # ------------------------------------------------------------------
+
+    def interpose_read(self, entry: BridgeFileEntry, name: str, block: int):
+        """First interposer claiming the read serves it (degraded
+        reconstruction); returns its data, or ``None`` when unclaimed."""
+        for interposer in self.interposers:
+            hook = getattr(interposer, "read", None)
+            handler = hook(entry, name, block) if hook is not None else None
+            if handler is not None:
+                data = yield from handler
+                return data
+        return None
+
+    def interpose_write(self, entry: BridgeFileEntry, name: str, block: int,
+                        data: bytes):
+        """First interposer claiming the write absorbs it (parity RMW);
+        returns its result, or ``None`` when unclaimed."""
+        for interposer in self.interposers:
+            hook = getattr(interposer, "write", None)
+            handler = hook(entry, name, block, data) if hook is not None else None
+            if handler is not None:
+                result = yield from handler
+                return result
+        return None
+
+    # ------------------------------------------------------------------
+    # Stage 4: fan-out / gather
+    # ------------------------------------------------------------------
+
+    def fanout(self, calls):
+        """Windowed gather: every EFS message the server sends leaves
+        through here, at most ``bridge_fanout_limit`` in flight (0 =
+        unbounded, the seed default)."""
+        results = yield from gather(
+            self.server.node, calls,
+            max_in_flight=self.server.config.bridge_fanout_limit or None,
+        )
+        return results
+
+    def spawn_staged(self, calls):
+        """Paper create behavior (section 4.5): initiation and
+        termination are sequential, the LFS work itself overlaps."""
+        server = self.server
+        reply_ports = []
+        for port, method, args in calls:
+            yield Timeout(server.config.cpu.bridge_create_dispatch)
+            reply_port = server.node.port()
+            server.node.send(port, Request(method, args, reply_port))
+            reply_ports.append(reply_port)
+        for reply_port in reply_ports:
+            response = yield reply_port.recv()
+            if response.error is not None:
+                raise response.error
+
+    def spawn_tree(self, entries, relay_method: str):
+        """Improved create behavior: one message to the first relay,
+        which fans out through an embedded binary tree (O(log p))."""
+        yield Timeout(self.server.config.cpu.bridge_create_dispatch)
+        results = yield from self.fanout(
+            [(entries[0]["relay_port"], "relay",
+              {"entries": entries, "relay_method": relay_method}, 0)],
+        )
+        return results[0]
+
+    def read_call(self, entry: BridgeFileEntry, name: str, slot: int,
+                  local: int):
+        """One single-block EFS read leg, hint-threaded."""
+        server = self.server
+        return (server._slot_port(entry, slot), "read",
+                {"file_number": entry.efs_file_numbers[slot],
+                 "block_number": local,
+                 "hint": server._hints.get((name, slot))}, 0)
+
+    def write_call(self, entry: BridgeFileEntry, slot: int, local: int,
+                   data: bytes, hint=None):
+        """One single-block EFS write leg."""
+        return (self.server._slot_port(entry, slot), "write",
+                {"file_number": entry.efs_file_numbers[slot],
+                 "block_number": local,
+                 "data": data,
+                 "hint": hint}, BLOCK_SIZE)
+
+    # ------------------------------------------------------------------
+    # Composed single-block paths (stages 2+3+4+5)
+    # ------------------------------------------------------------------
+
+    def demand_read(self, entry: BridgeFileEntry, name: str, block: int):
+        """The detached half of a naive-view read whose synchronous
+        probe missed: re-check the cache (a prefetch may have landed
+        meanwhile), wait on an in-flight fetch instead of duplicating
+        its EFS request, otherwise read from the source and install the
+        result under the generation guard."""
+        server = self.server
+        if server._cache is None:
+            data = yield from self._read_source(entry, name, block)
+            return data
+        data = server._cache.peek(name, block)
+        if data is not None:
+            return data
+        if server._prefetcher is not None:
+            signal = server._prefetcher.inflight_signal(name, block)
+            if signal is not None:
+                data = yield signal
+                if data is not None:
+                    server._cache.mark_used(name, block)
+                    return data
+                # The fetch was dropped (stale or errored): fall through
+                # to a direct read so the demand path sees real state.
+        generation = server._cache.generation(name)
+        data = yield from self._read_source(entry, name, block)
+        if server._cache.generation(name) == generation:
+            server._cache.install(name, block, data)
+        return data
+
+    def _read_source(self, entry: BridgeFileEntry, name: str, block: int):
+        """Stage 3 then stage 4: interposed or plain single-block read,
+        with the hint feedback of stage 5."""
+        data = yield from self.interpose_read(entry, name, block)
+        if data is not None:
+            return data
+        slot, local = entry.locate_block(block)
+        results = yield from self.fanout(
+            [self.read_call(entry, name, slot, local)]
+        )
+        self.feedback(name, slot, results[0].next_addr)
+        return results[0].data
+
+    def place(self, entry: BridgeFileEntry, block: int) -> Tuple[int, int]:
+        """Block placement: strict interleave, or the section-3
+        disordered scatter (any slot will do) on append."""
+        if entry.disordered and block == len(entry.block_map):
+            rng = self.server.node.machine.sim.random.stream("bridge.disorder")
+            slot = rng.randrange(entry.width)
+            local = sum(1 for s, _l in entry.block_map if s == slot)
+            entry.block_map.append((slot, local))
+            return slot, local
+        return entry.locate_block(block)
+
+    def commit_write(self, entry: BridgeFileEntry, name: str, block: int,
+                     data: bytes):
+        """Interposed or plain single-block write."""
+        result = yield from self.interpose_write(entry, name, block, data)
+        if result is not None:
+            return result
+        slot, local = self.place(entry, block)
+        results = yield from self.fanout(
+            [self.write_call(entry, slot, local, data)]
+        )
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Composed batched paths (list I/O)
+    # ------------------------------------------------------------------
+
+    def decompose(self, entry: BridgeFileEntry, name: str,
+                  blocks: List[int]) -> Dict[int, List[int]]:
+        """Split a global block list per constituent, validating range."""
+        per_slot: Dict[int, List[int]] = {}
+        for block in blocks:
+            if not 0 <= block < entry.total_blocks:
+                raise BridgeBadRequestError(
+                    f"{name!r}: block {block} outside file of "
+                    f"{entry.total_blocks} blocks"
+                )
+            slot, local = entry.locate_block(block)
+            per_slot.setdefault(slot, []).append(local)
+        return per_slot
+
+    def gather_batches(self, entry: BridgeFileEntry, name: str,
+                       per_slot: Dict[int, List[int]]):
+        """One batched ``read_blocks`` per touched LFS; returns the
+        ``(slot, local) -> data`` map with hints fed back."""
+        server = self.server
+        slots = sorted(per_slot)
+        calls = [
+            (server._slot_port(entry, slot), "read_blocks",
+             {"file_number": entry.efs_file_numbers[slot],
+              "block_numbers": sorted(set(per_slot[slot])),
+              "hint": server._hints.get((name, slot))}, 0)
+            for slot in slots
+        ]
+        batches = yield from self.fanout(calls)
+        by_location: Dict[Tuple[int, int], bytes] = {}
+        for slot, batch in zip(slots, batches):
+            for result in batch.results:
+                by_location[(slot, result.block_number)] = result.data
+            if batch.results:
+                self.feedback(name, slot, batch.results[-1].next_addr)
+        return by_location
+
+    def validate_list_write(self, entry: BridgeFileEntry, name: str,
+                            writes) -> int:
+        """File-level no-sparse rule: in-place updates may scatter;
+        appended blocks must form a dense run from the current end.
+        Returns the file's new total size in blocks."""
+        if entry.disordered:
+            raise BridgeBadRequestError(
+                f"{name!r}: list write is not supported on disordered "
+                "files (use the naive view)"
+            )
+        targets = {block for block, _data in writes}
+        new_total = max(entry.total_blocks, max(targets) + 1)
+        missing = [
+            block for block in range(entry.total_blocks, new_total)
+            if block not in targets
+        ]
+        if missing:
+            raise BridgeBadRequestError(
+                f"{name!r}: list write appends must be dense; blocks "
+                f"{missing[:4]}{'...' if len(missing) > 4 else ''} between "
+                f"the current end ({entry.total_blocks}) and "
+                f"{new_total - 1} are not covered"
+            )
+        for block, data in writes:
+            if block < 0:
+                raise BridgeBadRequestError(
+                    f"{name!r}: negative block {block} in list write"
+                )
+            if len(data) > DATA_BYTES_PER_BLOCK:
+                raise BridgeBadRequestError(
+                    f"{name!r}: write of {len(data)} bytes exceeds data "
+                    f"area {DATA_BYTES_PER_BLOCK}"
+                )
+        return new_total
+
+    def scatter_batches(self, entry: BridgeFileEntry, name: str, writes):
+        """One batched ``write_blocks`` per touched LFS."""
+        server = self.server
+        per_slot: Dict[int, List[Tuple[int, bytes]]] = {}
+        for block, data in writes:
+            slot, local = entry.interleave.locate(block)
+            per_slot.setdefault(slot, []).append((local, data))
+        calls = [
+            (server._slot_port(entry, slot), "write_blocks",
+             {"file_number": entry.efs_file_numbers[slot],
+              "writes": slot_writes,
+              "hint": server._hints.get((name, slot))},
+             BLOCK_SIZE * len(slot_writes))
+            for slot, slot_writes in sorted(per_slot.items())
+        ]
+        yield from self.fanout(calls)
+
+    # ------------------------------------------------------------------
+    # Composed parallel-view paths (lock-step delivery / collection)
+    # ------------------------------------------------------------------
+
+    def lockstep_groups(self, job):
+        """Yield groups of at most p in-range ``(worker_index, block)``
+        pairs; workers past EOF get their eof delivery as the group
+        forms (lazily, preserving the lock-step interleaving)."""
+        entry = job.entry
+        t = len(job.worker_ports)
+        for group_start in range(0, t, entry.width):
+            group = []
+            for index in range(group_start, min(group_start + entry.width, t)):
+                block = job.cursor + index
+                if block < entry.total_blocks:
+                    group.append((index, block))
+                else:
+                    self.server.node.send(
+                        job.worker_ports[index],
+                        BlockDelivery(job.job_id, index, block, None, eof=True),
+                    )
+            if group:
+                yield group
+
+    def deliver_group(self, job, group):
+        """Deliver one lock-step group: cache/in-flight hits ship
+        immediately; the misses fan out as one gather."""
+        server = self.server
+        entry = job.entry
+        delivered = 0
+        pending = []
+        for index, block in group:
+            data = yield from self.cached_or_inflight(entry.name, block)
+            if data is not None:
+                if server.config.cpu.bridge_cache_hit:
+                    yield Timeout(server.config.cpu.bridge_cache_hit)
+                server.node.send(
+                    job.worker_ports[index],
+                    BlockDelivery(job.job_id, index, block, data),
+                    size=len(data),
+                )
+                delivered += 1
+            else:
+                pending.append((index, block))
+        if not pending:
+            return delivered
+        calls = []
+        for _index, block in pending:
+            slot, local = entry.locate_block(block)
+            calls.append(self.read_call(entry, entry.name, slot, local))
+        results = yield from self.fanout(calls)
+        for (index, block), result in zip(pending, results):
+            slot, _local = entry.locate_block(block)
+            self.feedback(entry.name, slot, result.next_addr)
+            server.node.send(
+                job.worker_ports[index],
+                BlockDelivery(job.job_id, index, block, result.data),
+                size=len(result.data),
+            )
+            delivered += 1
+        return delivered
+
+    def collect_deposits(self, job) -> Dict[int, bytes]:
+        """Wait for one deposit per worker on the job port."""
+        t = len(job.worker_ports)
+        deposits: Dict[int, bytes] = {}
+        while len(deposits) < t:
+            message = yield job.port.recv()
+            if not isinstance(message, Deposit) or message.job_id != job.job_id:
+                raise BridgeJobError(
+                    f"job {job.job_id}: unexpected message {message!r}"
+                )
+            if message.worker_index in deposits:
+                raise BridgeJobError(
+                    f"job {job.job_id}: duplicate deposit from worker "
+                    f"{message.worker_index}"
+                )
+            deposits[message.worker_index] = message.data
+        return deposits
+
+    def append_groups(self, entry: BridgeFileEntry, base: int,
+                      chunks: Dict[int, bytes]):
+        """Append t collected blocks in lock-step groups of p."""
+        t = len(chunks)
+        for group_start in range(0, t, entry.width):
+            calls = []
+            for index in range(group_start, min(group_start + entry.width, t)):
+                block = base + index
+                slot, local = entry.interleave.locate(block)
+                calls.append(
+                    self.write_call(entry, slot, local, chunks[index])
+                )
+            yield from self.fanout(calls)
+
+    # ------------------------------------------------------------------
+    # Stage 5: prefetch feedback / detachment
+    # ------------------------------------------------------------------
+
+    def feedback(self, name: str, slot: int, next_addr) -> None:
+        """Thread a completed transfer's next-block disk address back
+        into the hint table (the "optimized path" of section 4.1)."""
+        self.server._hints[(name, slot)] = next_addr
+
+    def top_up(self, entry: BridgeFileEntry, name: str, frontier: int,
+               depth: int) -> None:
+        """S18 double buffering: start fetching the next stripe while
+        the current one is read and shipped."""
+        if self.server._prefetcher is not None:
+            self.server._prefetcher.top_up(entry, name, frontier, depth=depth)
+
+    def detach(self, generator) -> Detached:
+        """Hand the transfer half of an op to a side process so the
+        central server only spends routing time per request."""
+        return Detached(generator)

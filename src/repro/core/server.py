@@ -20,22 +20,27 @@ Three views are implemented:
 
 Open is "interpreted as a hint...  There is no close operation" — the
 server refreshes its cached cursor/size/hint state at every open.
+
+Since S20 every op handler is a thin composition of the staged request
+pipeline (:mod:`repro.core.pipeline`): admission/resolution, cache,
+redundancy interposition, windowed fan-out/gather, prefetch feedback.
+The handlers below own only per-op argument validation and directory
+state; all forwarding, caching, and gathering goes through the stages.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.config import BLOCK_SIZE, DATA_BYTES_PER_BLOCK, SystemConfig
+from repro.config import SystemConfig
 from repro.core.cache import BridgeBlockCache
 from repro.core.directory import BridgeDirectory, BridgeFileEntry
 from repro.core.info import ConstituentInfo, LFSHandle, OpenResult, SystemInfo
-from repro.core.parallel import BlockDelivery, Deposit, JobInfo
+from repro.core.parallel import JobInfo
+from repro.core.pipeline import RequestPipeline
 from repro.core.prefetch import Prefetcher
-from repro.efs.layout import NULL_ADDR
 from repro.errors import BridgeBadRequestError, BridgeJobError
-from repro.machine import Port, Response, Server, gather
-from repro.sim import Timeout
+from repro.machine import Port, Response, Server
 
 
 class _Job:
@@ -93,6 +98,8 @@ class BridgeServer(Server):
             if config.prefetch_window > 0 and self._cache is not None
             else None
         )
+        # S20: the staged request engine every op composes.
+        self.pipeline = RequestPipeline(self)
 
     # ==================================================================
     # File management (the monitor)
@@ -109,9 +116,7 @@ class BridgeServer(Server):
         (the server keeps the global->local map) at the expense of strict
         interleaving's consecutive-block guarantee.
         """
-        yield Timeout(
-            self.config.cpu.bridge_request + self.config.cpu.bridge_directory_probe
-        )
+        yield from self.pipeline.admit(probe=True)
         if self.directory.exists(name):
             from repro.errors import BridgeFileExistsError
 
@@ -142,53 +147,28 @@ class BridgeServer(Server):
             for slot in range(width)
         ]
         if self.config.create_uses_tree and self.relay_ports is not None:
-            yield from self._create_tree(slots, args_per_slot)
+            yield from self.pipeline.spawn_tree(
+                [
+                    {
+                        "efs_port": self.lfs[slot].port,
+                        "relay_port": self.relay_ports[slot],
+                        "args": args,
+                    }
+                    for slot, args in zip(slots, args_per_slot)
+                ],
+                relay_method="create",
+            )
         else:
-            yield from self._create_sequential(slots, args_per_slot)
+            yield from self.pipeline.spawn_staged(
+                [(self.lfs[slot].port, "create", args)
+                 for slot, args in zip(slots, args_per_slot)]
+            )
         self.directory.insert(entry)
-        yield Timeout(self.config.cpu.bridge_directory_update)
+        yield from self.pipeline.commit()
         self._cursors[name] = 0
-        if self._cache is not None:
-            # Name reuse after delete: nothing cached may survive.
-            self._cache.invalidate_file(name)
-        if self._prefetcher is not None:
-            self._prefetcher.forget(name)
+        # Name reuse after delete: nothing cached may survive.
+        self.pipeline.evict_file(name)
         return file_id
-
-    def _create_sequential(self, slots, args_per_slot):
-        """Paper behavior: initiation and termination are sequential,
-        the LFS work itself overlaps (section 4.5)."""
-        reply_ports = []
-        for slot, args in zip(slots, args_per_slot):
-            yield Timeout(self.config.cpu.bridge_create_dispatch)
-            reply_port = self.node.port()
-            from repro.machine.rpc import Request
-
-            self.node.send(self.lfs[slot].port, Request("create", args, reply_port))
-            reply_ports.append(reply_port)
-        for reply_port in reply_ports:
-            response = yield reply_port.recv()
-            if response.error is not None:
-                raise response.error
-
-    def _create_tree(self, slots, args_per_slot):
-        """Improved behavior: one message to the first relay, which fans
-        out through an embedded binary tree (O(log p) critical path)."""
-        entries = [
-            {
-                "efs_port": self.lfs[slot].port,
-                "relay_port": self.relay_ports[slot],
-                "args": args,
-            }
-            for slot, args in zip(slots, args_per_slot)
-        ]
-        yield Timeout(self.config.cpu.bridge_create_dispatch)
-        results = yield from gather(
-            self.node,
-            [(entries[0]["relay_port"], "relay",
-              {"entries": entries, "relay_method": "create"}, 0)],
-        )
-        return results[0]
 
     def op_delete(self, name):
         """Delete on all LFS in parallel; each LFS walk is O(n/p).
@@ -198,46 +178,39 @@ class BridgeServer(Server):
         big files — run detached so one large delete does not serialize
         every other client behind the central server.
         """
-        yield Timeout(
-            self.config.cpu.bridge_request + self.config.cpu.bridge_directory_probe
-        )
-        entry = self.directory.lookup(name)
+        yield from self.pipeline.admit(probe=True)
+        entry = self.pipeline.resolve(name)
         self.directory.remove(name)
-        yield Timeout(self.config.cpu.bridge_directory_update)
+        yield from self.pipeline.commit()
         self._cursors.pop(name, None)
         for slot in range(entry.width):
             self._hints.pop((name, slot), None)
-        if self._cache is not None:
-            self._cache.invalidate_file(name)
-        if self._prefetcher is not None:
-            self._prefetcher.forget(name)
+        self.pipeline.evict_file(name)
 
         def reap():
-            calls = [
-                (self._slot_port(entry, slot), "delete",
-                 {"file_number": entry.efs_file_numbers[slot]}, 0)
-                for slot in range(entry.width)
-            ]
-            freed = yield from gather(self.node, calls)
+            freed = yield from self.pipeline.fanout(
+                [
+                    (self._slot_port(entry, slot), "delete",
+                     {"file_number": entry.efs_file_numbers[slot]}, 0)
+                    for slot in range(entry.width)
+                ]
+            )
             return sum(freed)
 
-        from repro.machine.rpc import Detached
-
-        return Detached(reap())
+        return self.pipeline.detach(reap())
 
     def op_open(self, name):
         """Set up the optimized path: refresh sizes and hints, reset the
         sequential cursor, and return the constituent information."""
-        yield Timeout(
-            self.config.cpu.bridge_request + self.config.cpu.bridge_directory_probe
+        yield from self.pipeline.admit(probe=True)
+        entry = self.pipeline.resolve(name)
+        infos = yield from self.pipeline.fanout(
+            [
+                (self._slot_port(entry, slot), "info",
+                 {"file_number": entry.efs_file_numbers[slot]}, 0)
+                for slot in range(entry.width)
+            ]
         )
-        entry = self.directory.lookup(name)
-        calls = [
-            (self._slot_port(entry, slot), "info",
-             {"file_number": entry.efs_file_numbers[slot]}, 0)
-            for slot in range(entry.width)
-        ]
-        infos = yield from gather(self.node, calls)
         sizes = [info.size_blocks for info in infos]
         if entry.disordered:
             if sum(sizes) != len(entry.block_map or []):
@@ -262,7 +235,7 @@ class BridgeServer(Server):
                     head_addr=info.head_addr,
                 )
             )
-            self._hints[(name, slot)] = info.head_addr
+            self.pipeline.feedback(name, slot, info.head_addr)
         self._cursors[name] = 0
         return OpenResult(
             name=name,
@@ -275,7 +248,7 @@ class BridgeServer(Server):
 
     def op_get_info(self):
         """The tool bootstrap package (Table 1: Get Info -> LFS handles)."""
-        yield Timeout(self.config.cpu.bridge_request)
+        yield from self.pipeline.admit()
         return SystemInfo(lfs=list(self.lfs), server_port=self.port)
 
     # ==================================================================
@@ -298,42 +271,29 @@ class BridgeServer(Server):
         and LRU touch instead of the full request decode + directory
         consult + EFS round trip).
         """
-        if self._cache is not None:
-            entry = self.directory.lookup(name)
-            cursor = self._cursors.get(name, 0)
-            if cursor < entry.total_blocks:
-                if self._prefetcher is not None:
-                    self._prefetcher.observe(entry, name, cursor)
-                data = self._cache.lookup(name, cursor)
-                if data is not None:
-                    self._cursors[name] = cursor + 1
-                    yield Timeout(self.config.cpu.bridge_cache_hit)
-                    return Response(value=(cursor, data), size=len(data))
-        yield Timeout(self.config.cpu.bridge_request)
-        entry = self.directory.lookup(name)
+        hit = yield from self.pipeline.probe(name)
+        if hit is not None:
+            return hit
+        yield from self.pipeline.admit()
+        entry = self.pipeline.resolve(name)
         cursor = self._cursors.get(name, 0)
         if cursor >= entry.total_blocks:
             return Response(value=(None, None))
         self._cursors[name] = cursor + 1
 
         def forward():
-            data = yield from self._read_global_cached(entry, name, cursor)
+            data = yield from self.pipeline.demand_read(entry, name, cursor)
             return Response(value=(cursor, data), size=len(data))
 
-        from repro.machine.rpc import Detached
-
-        return Detached(forward())
+        return self.pipeline.detach(forward())
 
     def op_seq_write(self, name, data):
         """Append one block at the end of the file."""
-        yield Timeout(self.config.cpu.bridge_request)
-        entry = self.directory.lookup(name)
+        yield from self.pipeline.admit()
+        entry = self.pipeline.resolve(name)
         block = entry.total_blocks
-        if self._cache is not None:
-            # Invalidate *before* the EFS write goes out so an in-flight
-            # read of the old value can never install stale data later.
-            self._cache.invalidate_block(name, block)
-        yield from self._write_global(entry, name, block, data)
+        self.pipeline.invalidate(name, block)
+        yield from self.pipeline.commit_write(entry, name, block, data)
         entry.total_blocks = block + 1
         return block
 
@@ -345,17 +305,11 @@ class BridgeServer(Server):
         the striped read-ahead pipeline once the pattern is sequential;
         hits pay ``bridge_cache_hit`` instead of the full request charge.
         """
-        if self._cache is not None:
-            entry = self.directory.lookup(name)
-            if 0 <= block_number < entry.total_blocks:
-                if self._prefetcher is not None:
-                    self._prefetcher.observe(entry, name, block_number)
-                data = self._cache.lookup(name, block_number)
-                if data is not None:
-                    yield Timeout(self.config.cpu.bridge_cache_hit)
-                    return Response(value=data, size=len(data))
-        yield Timeout(self.config.cpu.bridge_request)
-        entry = self.directory.lookup(name)
+        hit = yield from self.pipeline.probe(name, block_number)
+        if hit is not None:
+            return hit
+        yield from self.pipeline.admit()
+        entry = self.pipeline.resolve(name)
         if not 0 <= block_number < entry.total_blocks:
             raise BridgeBadRequestError(
                 f"{name!r}: block {block_number} outside file of "
@@ -363,32 +317,31 @@ class BridgeServer(Server):
             )
 
         def forward():
-            data = yield from self._read_global_cached(entry, name, block_number)
+            data = yield from self.pipeline.demand_read(
+                entry, name, block_number
+            )
             return Response(value=data, size=len(data))
 
-        from repro.machine.rpc import Detached
-
-        return Detached(forward())
+        return self.pipeline.detach(forward())
 
     def op_get_block_map(self, name):
         """The global->local map of a disordered file (tool view)."""
-        yield Timeout(self.config.cpu.bridge_request)
-        entry = self.directory.lookup(name)
+        yield from self.pipeline.admit()
+        entry = self.pipeline.resolve(name)
         if not entry.disordered:
             raise BridgeBadRequestError(f"{name!r} is strictly interleaved")
         return list(entry.block_map or [])
 
     def op_random_write(self, name, block_number, data):
-        yield Timeout(self.config.cpu.bridge_request)
-        entry = self.directory.lookup(name)
+        yield from self.pipeline.admit()
+        entry = self.pipeline.resolve(name)
         if not 0 <= block_number <= entry.total_blocks:
             raise BridgeBadRequestError(
                 f"{name!r}: block {block_number} outside writable range "
                 f"[0, {entry.total_blocks}]"
             )
-        if self._cache is not None:
-            self._cache.invalidate_block(name, block_number)
-        yield from self._write_global(entry, name, block_number, data)
+        self.pipeline.invalidate(name, block_number)
+        yield from self.pipeline.commit_write(entry, name, block_number, data)
         if block_number == entry.total_blocks:
             entry.total_blocks += 1
         return block_number
@@ -408,49 +361,21 @@ class BridgeServer(Server):
         reassembly run detached so a big list read does not serialize
         unrelated clients behind the central server.
         """
-        yield Timeout(self.config.cpu.bridge_request)
-        entry = self.directory.lookup(name)
+        yield from self.pipeline.admit()
+        entry = self.pipeline.resolve(name)
         blocks = list(blocks)
         if not blocks:
             return Response(value=[])
-        per_slot: Dict[int, List[int]] = {}
-        for block in blocks:
-            if not 0 <= block < entry.total_blocks:
-                raise BridgeBadRequestError(
-                    f"{name!r}: block {block} outside file of "
-                    f"{entry.total_blocks} blocks"
-                )
-            slot, local = entry.locate_block(block)
-            locals_ = per_slot.setdefault(slot, [])
-            locals_.append(local)
-        calls = []
-        slots = sorted(per_slot)
-        for slot in slots:
-            locals_ = sorted(set(per_slot[slot]))
-            calls.append(
-                (self._slot_port(entry, slot), "read_blocks",
-                 {"file_number": entry.efs_file_numbers[slot],
-                  "block_numbers": locals_,
-                  "hint": self._hints.get((name, slot))}, 0)
-            )
+        per_slot = self.pipeline.decompose(entry, name, blocks)
 
-        def forward():
-            batches = yield from gather(
-                self.node, calls,
-                max_in_flight=self.config.bridge_fanout_limit or None,
+        def reassemble():
+            by_location = yield from self.pipeline.gather_batches(
+                entry, name, per_slot
             )
-            by_location: Dict[Tuple[int, int], bytes] = {}
-            for slot, batch in zip(slots, batches):
-                for result in batch.results:
-                    by_location[(slot, result.block_number)] = result.data
-                if batch.results:
-                    self._hints[(name, slot)] = batch.results[-1].next_addr
             data = [by_location[entry.locate_block(block)] for block in blocks]
             return Response(value=data, size=sum(len(d) for d in data))
 
-        from repro.machine.rpc import Detached
-
-        return Detached(forward())
+        return self.pipeline.detach(reassemble())
 
     def op_list_write(self, name, writes):
         """Noncontiguous write: one batched EFS request per touched LFS.
@@ -461,58 +386,16 @@ class BridgeServer(Server):
         no-sparse rule, matching the per-constituent EFS rule).  Returns
         the file's new total size in blocks.
         """
-        yield Timeout(self.config.cpu.bridge_request)
-        entry = self.directory.lookup(name)
+        yield from self.pipeline.admit()
+        entry = self.pipeline.resolve(name)
         writes = list(writes)
         if not writes:
             return entry.total_blocks
-        if entry.disordered:
-            raise BridgeBadRequestError(
-                f"{name!r}: list write is not supported on disordered "
-                "files (use the naive view)"
-            )
-        targets = {block for block, _data in writes}
-        new_total = max(entry.total_blocks, max(targets) + 1)
-        missing = [
-            block for block in range(entry.total_blocks, new_total)
-            if block not in targets
-        ]
-        if missing:
-            raise BridgeBadRequestError(
-                f"{name!r}: list write appends must be dense; blocks "
-                f"{missing[:4]}{'...' if len(missing) > 4 else ''} between "
-                f"the current end ({entry.total_blocks}) and "
-                f"{new_total - 1} are not covered"
-            )
-        for block, data in writes:
-            if block < 0:
-                raise BridgeBadRequestError(
-                    f"{name!r}: negative block {block} in list write"
-                )
-            if len(data) > DATA_BYTES_PER_BLOCK:
-                raise BridgeBadRequestError(
-                    f"{name!r}: write of {len(data)} bytes exceeds data "
-                    f"area {DATA_BYTES_PER_BLOCK}"
-                )
-        if self._cache is not None:
-            for block, _data in writes:
-                self._cache.invalidate_block(name, block)
-        per_slot: Dict[int, List[Tuple[int, bytes]]] = {}
-        for block, data in writes:
-            slot, local = entry.interleave.locate(block)
-            per_slot.setdefault(slot, []).append((local, data))
-        calls = [
-            (self._slot_port(entry, slot), "write_blocks",
-             {"file_number": entry.efs_file_numbers[slot],
-              "writes": slot_writes,
-              "hint": self._hints.get((name, slot))},
-             BLOCK_SIZE * len(slot_writes))
-            for slot, slot_writes in sorted(per_slot.items())
-        ]
-        yield from gather(
-            self.node, calls,
-            max_in_flight=self.config.bridge_fanout_limit or None,
+        new_total = self.pipeline.validate_list_write(entry, name, writes)
+        self.pipeline.invalidate(
+            name, *(block for block, _data in writes)
         )
+        yield from self.pipeline.scatter_batches(entry, name, writes)
         entry.total_blocks = new_total
         return new_total
 
@@ -521,12 +404,10 @@ class BridgeServer(Server):
     # ==================================================================
 
     def op_parallel_open(self, name, worker_ports):
-        yield Timeout(
-            self.config.cpu.bridge_request + self.config.cpu.bridge_directory_probe
-        )
+        yield from self.pipeline.admit(probe=True)
         if not worker_ports:
             raise BridgeJobError("parallel open needs at least one worker")
-        entry = self.directory.lookup(name)
+        entry = self.pipeline.resolve(name)
         job_id = self._next_job_id
         self._next_job_id += 1
         job = _Job(job_id, entry, list(worker_ports), self.node.port(f"job{job_id}"))
@@ -548,79 +429,22 @@ class BridgeServer(Server):
         will simulate any degree of parallelism" — groups of p accesses
         run in parallel; successive groups are sequential (lock step).
         """
-        yield Timeout(self.config.cpu.bridge_request)
+        yield from self.pipeline.admit()
         job = self._job(job_id)
         entry = job.entry
         t = len(job.worker_ports)
-        if self._prefetcher is not None:
-            # S18 double buffering: start fetching the *next* delivery's
-            # stripe while this one is read and shipped to the workers.
-            self._prefetcher.top_up(entry, entry.name, job.cursor + t, depth=t)
+        # S18 double buffering: start fetching the *next* delivery's
+        # stripe while this one is read and shipped to the workers.
+        self.pipeline.top_up(entry, entry.name, job.cursor + t, depth=t)
         delivered = 0
-        for group_start in range(0, t, entry.width):
-            group = []
-            for index in range(group_start, min(group_start + entry.width, t)):
-                block = job.cursor + index
-                if block < entry.total_blocks:
-                    group.append((index, block))
-                else:
-                    self.node.send(
-                        job.worker_ports[index],
-                        BlockDelivery(job_id, index, block, None, eof=True),
-                    )
-            if not group:
-                continue
-            pending = []
-            for index, block in group:
-                data = None
-                if self._cache is not None:
-                    data = self._cache.lookup(entry.name, block)
-                    if data is None and self._prefetcher is not None:
-                        signal = self._prefetcher.inflight_signal(
-                            entry.name, block
-                        )
-                        if signal is not None:
-                            data = yield signal
-                            if data is not None:
-                                self._cache.mark_used(entry.name, block)
-                if data is not None:
-                    if self.config.cpu.bridge_cache_hit:
-                        yield Timeout(self.config.cpu.bridge_cache_hit)
-                    self.node.send(
-                        job.worker_ports[index],
-                        BlockDelivery(job_id, index, block, data),
-                        size=len(data),
-                    )
-                    delivered += 1
-                else:
-                    pending.append((index, block))
-            if not pending:
-                continue
-            calls = []
-            for _index, block in pending:
-                slot, local = entry.locate_block(block)
-                calls.append(
-                    (self._slot_port(entry, slot), "read",
-                     {"file_number": entry.efs_file_numbers[slot],
-                      "block_number": local,
-                      "hint": self._hints.get((entry.name, slot))}, 0)
-                )
-            results = yield from gather(self.node, calls)
-            for (index, block), result in zip(pending, results):
-                slot, _local = entry.locate_block(block)
-                self._hints[(entry.name, slot)] = result.next_addr
-                self.node.send(
-                    job.worker_ports[index],
-                    BlockDelivery(job_id, index, block, result.data),
-                    size=len(result.data),
-                )
-                delivered += 1
+        for group in self.pipeline.lockstep_groups(job):
+            delivered += yield from self.pipeline.deliver_group(job, group)
         job.cursor += t
         return delivered
 
     def op_parallel_write(self, job_id):
         """Collect one deposit per worker and append them in order."""
-        yield Timeout(self.config.cpu.bridge_request)
+        yield from self.pipeline.admit()
         job = self._job(job_id)
         entry = job.entry
         if entry.disordered:
@@ -628,38 +452,15 @@ class BridgeServer(Server):
                 f"{entry.name!r}: parallel write is not supported on "
                 "disordered files (use the naive view)"
             )
-        t = len(job.worker_ports)
-        deposits: Dict[int, bytes] = {}
-        while len(deposits) < t:
-            message = yield job.port.recv()
-            if not isinstance(message, Deposit) or message.job_id != job_id:
-                raise BridgeJobError(f"job {job_id}: unexpected message {message!r}")
-            if message.worker_index in deposits:
-                raise BridgeJobError(
-                    f"job {job_id}: duplicate deposit from worker "
-                    f"{message.worker_index}"
-                )
-            deposits[message.worker_index] = message.data
+        deposits = yield from self.pipeline.collect_deposits(job)
         base = entry.total_blocks
-        for group_start in range(0, t, entry.width):
-            calls = []
-            for index in range(group_start, min(group_start + entry.width, t)):
-                block = base + index
-                slot, local = entry.interleave.locate(block)
-                calls.append(
-                    (self._slot_port(entry, slot), "write",
-                     {"file_number": entry.efs_file_numbers[slot],
-                      "block_number": local,
-                      "data": deposits[index],
-                      "hint": None}, BLOCK_SIZE)
-                )
-            yield from gather(self.node, calls)
-        entry.total_blocks = base + t
+        yield from self.pipeline.append_groups(entry, base, deposits)
+        entry.total_blocks = base + len(deposits)
         job.cursor = entry.total_blocks
         return entry.total_blocks
 
     def op_parallel_close(self, job_id):
-        yield Timeout(self.config.cpu.bridge_request)
+        yield from self.pipeline.admit()
         self._job(job_id)
         del self._jobs[job_id]
         return None
@@ -699,36 +500,6 @@ class BridgeServer(Server):
             raise BridgeJobError(f"unknown job {job_id}")
         return job
 
-    def _read_global_cached(self, entry: BridgeFileEntry, name: str, block: int):
-        """Demand read through the S18 cache.
-
-        Runs in the detached half of a naive-view read whose synchronous
-        cache check missed.  Re-checks the cache (a prefetch may have
-        landed meanwhile), waits on an in-flight fetch instead of
-        duplicating its EFS request, and otherwise reads from the LFS and
-        installs the result under the generation guard.
-        """
-        if self._cache is None:
-            data = yield from self._read_global(entry, name, block)
-            return data
-        data = self._cache.peek(name, block)
-        if data is not None:
-            return data
-        if self._prefetcher is not None:
-            signal = self._prefetcher.inflight_signal(name, block)
-            if signal is not None:
-                data = yield signal
-                if data is not None:
-                    self._cache.mark_used(name, block)
-                    return data
-                # The fetch was dropped (stale or errored): fall through
-                # to a direct read so the demand path sees the real state.
-        generation = self._cache.generation(name)
-        data = yield from self._read_global(entry, name, block)
-        if self._cache.generation(name) == generation:
-            self._cache.install(name, block, data)
-        return data
-
     def bridge_cache_stats(self) -> Optional[Dict[str, object]]:
         """S18 cache/prefetch counters for reports and benches.
 
@@ -759,35 +530,3 @@ class BridgeServer(Server):
                 stream_recognitions=self._prefetcher.detector.recognitions,
             )
         return stats
-
-    def _read_global(self, entry: BridgeFileEntry, name: str, block: int):
-        slot, local = entry.locate_block(block)
-        results = yield from gather(
-            self.node,
-            [(self._slot_port(entry, slot), "read",
-              {"file_number": entry.efs_file_numbers[slot],
-               "block_number": local,
-               "hint": self._hints.get((name, slot))}, 0)],
-        )
-        result = results[0]
-        self._hints[(name, slot)] = result.next_addr
-        return result.data
-
-    def _write_global(self, entry: BridgeFileEntry, name: str, block: int, data):
-        if entry.disordered and block == len(entry.block_map):
-            # scattered append: any slot will do (section 3's relaxation)
-            rng = self.node.machine.sim.random.stream("bridge.disorder")
-            slot = rng.randrange(entry.width)
-            local = sum(1 for s, _l in entry.block_map if s == slot)
-            entry.block_map.append((slot, local))
-        else:
-            slot, local = entry.locate_block(block)
-        results = yield from gather(
-            self.node,
-            [(self._slot_port(entry, slot), "write",
-              {"file_number": entry.efs_file_numbers[slot],
-               "block_number": local,
-               "data": data,
-               "hint": None}, BLOCK_SIZE)],
-        )
-        return results[0]

@@ -12,7 +12,15 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
-from repro.core import BridgeClient, BridgeServer, LFSHandle, RelayServer
+from repro.core import (
+    BridgeClient,
+    BridgeServer,
+    JobController,
+    LFSHandle,
+    PartitionedBridge,
+    PartitionedClient,
+    RelayServer,
+)
 from repro.efs import EFSClient, EFSServer
 from repro.machine import Machine
 from repro.sim import Simulator
@@ -120,6 +128,11 @@ class BridgeSystem:
             for index, node in enumerate(self.server_nodes)
         ]
         self.bridge = self.bridges[0]
+        # S20: the partitioned fabric router.  Every surface (naive
+        # clients, job controllers, tools, redundancy wrappers) accepts
+        # it in place of a single server port; with one server it simply
+        # routes everything to that server.
+        self.fabric = PartitionedBridge(self.bridges)
 
         # Redundancy scheme knob (S16): every experiment can run the same
         # workload unprotected, mirrored (2x), or parity-protected
@@ -155,17 +168,31 @@ class BridgeSystem:
         """p: the number of LFS instances."""
         return len(self.efs_servers)
 
-    def naive_client(self, node=None) -> BridgeClient:
-        """A naive-view client, by default on the front-end node."""
+    def naive_client(self, node=None):
+        """A naive-view client, by default on the front-end node.
+
+        On a multi-server fabric this returns the partition-routed
+        client (the full ``BridgeClient`` surface, routed by name), so
+        every naive-view consumer — including the S16 redundancy
+        wrappers — works unchanged at ``bridge_server_count > 1``."""
+        if len(self.bridges) > 1:
+            return self.partitioned_client(node)
         return BridgeClient(node or self.client_node, self.bridge.port)
 
-    def partitioned_client(self, node=None):
-        """A client routing by name across all Bridge Server partitions
-        (build the system with ``bridge_server_count > 1`` to use it)."""
-        from repro.core.partitioned import PartitionedBridge, PartitionedClient
+    def partitioned_client(self, node=None) -> PartitionedClient:
+        """A client routing by name across all Bridge Server partitions."""
+        return PartitionedClient(node or self.client_node, self.fabric)
 
-        bridge = PartitionedBridge(self.bridges)
-        return PartitionedClient(node or self.client_node, bridge)
+    def job_controller(self, node=None, name: str = "controller") -> JobController:
+        """A parallel-view controller; partition-routed on a fabric."""
+        return JobController(node or self.client_node, self.server_target(),
+                             name=name)
+
+    def server_target(self):
+        """What to hand anything that takes a ``server_port``: the single
+        server's port, or the fabric router at bridge_server_count > 1
+        (tools and job controllers resolve partitions per name)."""
+        return self.fabric if len(self.bridges) > 1 else self.bridge.port
 
     def redundant_file(self, name: str):
         """A file wrapper under this system's redundancy scheme: a

@@ -97,8 +97,16 @@ class EthernetNetwork:
             yield self._wakeup.recv()
             while self._queue:
                 port, message, size = self._queue.popleft()
+                started = self.sim.now
                 yield Timeout(self.frame_overhead + size / self.bandwidth)
                 port.mailbox.deliver(message)
+                # Transit is priced only now that the frame has cleared
+                # the shared medium; tell the observability layer so the
+                # net vs. queue split is exact (no scheduling happens
+                # here — the event sequence is unchanged).
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.on_bus_drain(message, started, self.sim.now)
 
     @property
     def backlog(self) -> int:

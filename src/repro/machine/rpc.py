@@ -43,6 +43,11 @@ class Response:
     value: Any = None
     error: Optional[Exception] = None
     size: int = 0  # payload bytes carried with the response
+    # S19 trace context, stamped by the interconnect hook at send time
+    # (the server loop has restored the caller's span by then).  Lets
+    # shared-medium networks report the response frame's exact drain
+    # time, so reply transit splits into net vs. queue like requests do.
+    trace_ctx: Optional[Any] = None
 
 
 class Detached:

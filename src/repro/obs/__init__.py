@@ -26,6 +26,7 @@ from repro.obs.critical import (
 )
 from repro.obs.export import (
     chrome_trace_document,
+    diff_trace_documents,
     chrome_trace_events,
     export_chrome_trace,
     span_tree_lines,
@@ -63,6 +64,7 @@ __all__ = [
     "attribute",
     "attribute_ops",
     "chrome_trace_document",
+    "diff_trace_documents",
     "chrome_trace_events",
     "compare_to_model",
     "critical_path",

@@ -16,9 +16,10 @@ Rules:
 * ``background=True`` spans (prefetch fetches that overlap and outlive
   the demand path) are excluded from the partition — they still appear
   in exports, but attributing them would double-count wall time;
-* a ``disk`` span's self time is split between ``disk`` (service) and
-  ``queue`` (time waiting for the arm) using the wait/service breakdown
-  the disk stamps into the span's args.
+* a span carrying a wait/service breakdown in its args — disk accesses
+  (time waiting for the arm) and Ethernet frames (time queued behind the
+  shared bus) — has its self time split between its own category (the
+  service share) and ``queue`` (the wait share).
 
 The module cross-checks against :mod:`repro.analysis.models`: the exact
 cost model predicts per-category totals for a steady-state naive read,
@@ -42,16 +43,21 @@ def attribute(obs: Observability, root: Span) -> Dict[str, float]:
 
 
 def _credit_self(span: Span, amount: float, totals: Dict[str, float]) -> None:
-    """Credit a span's self time, splitting disk spans into service/wait."""
+    """Credit a span's self time.
+
+    A span stamped with a ``wait``/``service`` breakdown — disk accesses
+    waiting for the arm, bus-queued messages waiting for the shared
+    medium — splits its self time between its own category (the service
+    share) and ``queue`` (the wait share)."""
     if amount <= 0.0:
         return
-    if span.category == "disk" and span.args:
+    if span.args:
         wait = span.args.get("wait")
         service = span.args.get("service")
         if wait is not None and service is not None and (wait + service) > 0.0:
-            disk_share = amount * service / (wait + service)
-            totals["disk"] = totals.get("disk", 0.0) + disk_share
-            totals["queue"] = totals.get("queue", 0.0) + (amount - disk_share)
+            own_share = amount * service / (wait + service)
+            totals[span.category] = totals.get(span.category, 0.0) + own_share
+            totals["queue"] = totals.get("queue", 0.0) + (amount - own_share)
             return
     totals[span.category] = totals.get(span.category, 0.0) + amount
 

@@ -114,6 +114,79 @@ def validate_trace_document(document: Dict[str, object]) -> List[str]:
     return problems
 
 
+def diff_trace_documents(baseline: Dict[str, object],
+                         candidate: Dict[str, object]) -> List[str]:
+    """Span-for-span comparison of two exported trace documents.
+
+    Returns an empty list when the traces are identical.  On drift it
+    returns a report naming the first diverging span event and rendering
+    the offending subtree from both documents, so a CI failure shows
+    *where* in the request path the event sequence changed rather than
+    just that it did.
+    """
+    base_events = [e for e in baseline.get("traceEvents", []) if e.get("ph") == "X"]
+    cand_events = [e for e in candidate.get("traceEvents", []) if e.get("ph") == "X"]
+
+    def key(event):
+        return (event["name"], event["cat"], event["pid"], event["tid"],
+                event["ts"], event["dur"], event["args"].get("parent_id"))
+
+    first = None
+    for index in range(min(len(base_events), len(cand_events))):
+        if key(base_events[index]) != key(cand_events[index]):
+            first = index
+            break
+    if first is None:
+        if len(base_events) != len(cand_events):
+            first = min(len(base_events), len(cand_events))
+        elif baseline != candidate:
+            return ["trace documents differ outside span events "
+                    "(metadata / otherData)"]
+        else:
+            return []
+    report = [
+        f"span sequence drift at event index {first} "
+        f"(baseline: {len(base_events)} spans, candidate: {len(cand_events)})"
+    ]
+    for label, events in (("baseline", base_events), ("candidate", cand_events)):
+        report.append(f"--- offending subtree ({label}) ---")
+        report.extend(_offending_subtree(events, first) or ["  <no span at this index>"])
+    return report
+
+
+def _offending_subtree(events: List[Dict[str, object]], index: int,
+                       max_lines: int = 80) -> List[str]:
+    """Render the root-anchored subtree containing ``events[index]``,
+    marking the offending span with ``>>``."""
+    if index >= len(events):
+        return []
+    by_id = {e["args"]["span_id"]: e for e in events}
+    children: Dict[object, List[Dict[str, object]]] = {}
+    for event in events:
+        children.setdefault(event["args"].get("parent_id"), []).append(event)
+    target = events[index]
+    root = target
+    while root["args"].get("parent_id") in by_id:
+        root = by_id[root["args"]["parent_id"]]
+    lines: List[str] = []
+
+    def render(event, depth: int) -> None:
+        if len(lines) >= max_lines:
+            return
+        marker = ">> " if event is target else "   "
+        lines.append(
+            f"{marker}{'  ' * depth}{event['name']} [{event['cat']}] "
+            f"pid={event['pid']} ts={event['ts']:.3f} dur={event['dur']:.3f}"
+        )
+        for child in children.get(event["args"]["span_id"], ()):
+            render(child, depth + 1)
+
+    render(root, 0)
+    if len(lines) >= max_lines:
+        lines.append("   ... (subtree truncated)")
+    return lines
+
+
 def span_tree_lines(obs, root=None, max_depth: Optional[int] = None) -> List[str]:
     """ASCII rendering of a span tree, for reports and examples."""
     children = obs.children_index()

@@ -75,16 +75,21 @@ class SpanContext:
     network.
     """
 
-    __slots__ = ("span", "sent_at", "deliver_at")
+    __slots__ = ("span", "sent_at", "deliver_at", "net_span")
 
     def __init__(self, span: Optional[Span]) -> None:
         self.span = span
         #: When the carrying message entered the network.
         self.sent_at: Optional[float] = None
-        #: When it reaches the destination mailbox — None for network
-        #: models that queue internally (the receiver then falls back to
-        #: ``sent_at``, folding transit into the queue attribution).
+        #: When it reaches the destination mailbox — stamped up front by
+        #: networks that price transit at send time, or by
+        #: :meth:`Observability.on_bus_drain` when a shared-medium model
+        #: drains the frame.  None only while the frame is still queued.
         self.deliver_at: Optional[float] = None
+        #: The pending ``msg`` span of a bus-queued frame, held until
+        #: ``on_bus_drain`` can rewrite it with the exact wait/service
+        #: breakdown.
+        self.net_span: Optional[Span] = None
 
 
 class Observability:
@@ -226,9 +231,39 @@ class Observability:
         if span is not None and latency is None:
             # The network model could not price this message up front
             # (e.g. the Ethernet bus queues it); mark the span so the
-            # analyzer treats it as a zero-width marker, with transit
-            # time surfacing as receiver-side queueing instead.
+            # analyzer treats it as a zero-width marker until the bus
+            # drains the frame and on_bus_drain rewrites it.
             span.args["queued"] = True
+            if ctx:
+                ctx.net_span = span
+
+    def on_bus_drain(self, message: Any, start: float, end: float) -> None:
+        """Stamp the exact arrival time of a bus-queued message.
+
+        Shared-medium models (:class:`repro.machine.network.EthernetNetwork`)
+        cannot price a remote frame at send time; they call back here once
+        the transmitter has drained it.  The frame's pending ``msg`` span
+        is rewritten to cover ``[sent_at, end)`` with a wait/service
+        breakdown — time queued behind the bus vs. time on the wire — so
+        the critical-path analyzer splits transit between ``net`` and
+        ``queue`` exactly, and ``deliver_at`` is stamped so receiver-side
+        mailbox residency is attributed to queueing, not the network.
+        """
+        ctx = getattr(message, "trace_ctx", None)
+        if ctx is None:
+            return
+        ctx.deliver_at = end
+        span = ctx.net_span
+        if span is None:
+            return
+        ctx.net_span = None
+        sent = ctx.sent_at if ctx.sent_at is not None else start
+        span.end = end
+        if span.args is None:
+            span.args = {}
+        span.args.pop("queued", None)
+        span.args["wait"] = max(0.0, start - sent)
+        span.args["service"] = max(0.0, end - start)
 
     # ------------------------------------------------------------------
     # Introspection

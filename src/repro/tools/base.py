@@ -92,6 +92,9 @@ class Tool:
                  use_tree_spawn: bool = True) -> None:
         self.node = node
         self.machine = node.machine
+        # A plain server Port, or a partitioned fabric router (anything
+        # with ``port_for(name)``): per-name operations resolve their
+        # owning partition, Get Info aggregates across all of them.
         self.server_port = server_port
         self.config = config
         self.use_tree_spawn = use_tree_spawn
@@ -102,19 +105,42 @@ class Tool:
     # Phase 1 helpers: talk to the Bridge Server
     # ------------------------------------------------------------------
 
+    def _target(self, name: str) -> Port:
+        """The request port owning ``name`` (partition-routed on a
+        fabric, the single server port otherwise)."""
+        port_for = getattr(self.server_port, "port_for", None)
+        return port_for(name) if port_for is not None else self.server_port
+
     def get_info(self):
-        """Fetch (and cache) the middle-layer structure package."""
-        info = yield from self._rpc.call(self.server_port, "get_info")
+        """Fetch (and cache) the middle-layer structure package.
+
+        On a partitioned fabric this fans out to every partition and
+        aggregates (all partitions share the LFS set; the merged package
+        lists every request port in ``server_ports``)."""
+        ports = getattr(self.server_port, "ports", None)
+        if ports is None:
+            info = yield from self._rpc.call(self.server_port, "get_info")
+        else:
+            from repro.machine import gather
+
+            infos = yield from gather(
+                self.node, [(port, "get_info", {}, 0) for port in ports]
+            )
+            info = SystemInfo(
+                lfs=list(infos[0].lfs),
+                server_port=infos[0].server_port,
+                server_ports=[i.server_port for i in infos],
+            )
         self.system_info = info
         return info
 
     def open(self, name: str) -> "OpenResult":
-        return (yield from self._rpc.call(self.server_port, "open", name=name))
+        return (yield from self._rpc.call(self._target(name), "open", name=name))
 
     def create(self, name: str, width=None, node_slots=None, start: int = 0):
         return (
             yield from self._rpc.call(
-                self.server_port,
+                self._target(name),
                 "create",
                 name=name,
                 width=width,
@@ -124,7 +150,7 @@ class Tool:
         )
 
     def delete(self, name: str):
-        return (yield from self._rpc.call(self.server_port, "delete", name=name))
+        return (yield from self._rpc.call(self._target(name), "delete", name=name))
 
     def lfs_slot_of_node(self, node_index: int) -> int:
         """Index into the system LFS list for a machine node."""

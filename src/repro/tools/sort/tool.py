@@ -177,17 +177,17 @@ class SortTool(Tool):
         discard the inputs."""
         rpc = Client(self.node, f"merge{pass_number}.{pair_index}")
         yield from rpc.call(
-            self.server_port, "create",
+            self._target(out_name), "create",
             name=out_name, node_slots=out_slots, start=0,
         )
-        left = yield from rpc.call(self.server_port, "open", name=a_name)
-        right = yield from rpc.call(self.server_port, "open", name=b_name)
-        out = yield from rpc.call(self.server_port, "open", name=out_name)
+        left = yield from rpc.call(self._target(a_name), "open", name=a_name)
+        right = yield from rpc.call(self._target(b_name), "open", name=b_name)
+        out = yield from rpc.call(self._target(out_name), "open", name=out_name)
         total = left.total_blocks + right.total_blocks
         merge = PairMerge(self.node, self.config)
         stats = yield from merge.run(
             left.constituents, right.constituents, out.constituents, total
         )
-        yield from rpc.call(self.server_port, "delete", name=a_name)
-        yield from rpc.call(self.server_port, "delete", name=b_name)
+        yield from rpc.call(self._target(a_name), "delete", name=a_name)
+        yield from rpc.call(self._target(b_name), "delete", name=b_name)
         return stats

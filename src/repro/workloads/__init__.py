@@ -1,5 +1,6 @@
 """Workload generators and file builders for experiments."""
 
+from repro.workloads.acceptance import acceptance_driver, acceptance_system
 from repro.workloads.datagen import (
     few_distinct_keys,
     pattern_chunks,
@@ -28,6 +29,8 @@ from repro.workloads.files import (
 )
 
 __all__ = [
+    "acceptance_driver",
+    "acceptance_system",
     "build_file",
     "build_record_file",
     "build_text_file",

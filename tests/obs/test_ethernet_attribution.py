@@ -1,0 +1,112 @@
+"""Ethernet transit attribution: the shared bus prices a frame only when
+the transmitter drains it, so the observability layer learns the exact
+arrival time via ``on_bus_drain`` — frame spans carry a wait/service
+breakdown and the critical-path partitioner splits bus contention into
+``net`` (time on the wire) vs ``queue`` (time waiting for the medium).
+
+The scenario is the classic two-sender contention case: both clients
+transmit at t=0, so the second sender's frame waits exactly one
+frame-time behind the first.  Every number below is derived by hand from
+the bus parameters (1000 B/s, 0.1 s frame overhead, no local latency).
+"""
+
+import pytest
+
+from repro.machine import Client, EthernetNetwork, Machine
+from repro.machine.rpc import Server
+from repro.obs import Observability, attribute
+from repro.sim import Simulator, Timeout
+
+
+class EchoServer(Server):
+    def op_echo(self, tag):
+        yield Timeout(0.0)
+        return tag
+
+
+def run_two_sender_contention():
+    obs = Observability()
+    sim = Simulator(obs=obs)
+    network = EthernetNetwork(
+        sim, bandwidth_bytes_per_s=1000.0, frame_overhead=0.1,
+        local_latency=0.0,
+    )
+    machine = Machine(sim, 3, network=network)
+    server = EchoServer(machine.node(2), "echo")
+    results = {}
+
+    def sender(index, size):
+        client = Client(machine.node(index), name=f"c{index}")
+        value = yield from client.call(server.port, "echo", size=size,
+                                       tag=index)
+        results[index] = (value, sim.now)
+
+    # Sender 0 transmits a 1000-byte request (1.1 s frame), sender 1 a
+    # 500-byte request (0.6 s frame); both enter the bus queue at t=0.
+    machine.node(0).spawn(sender(0, 1000))
+    machine.node(1).spawn(sender(1, 500))
+    sim.run()
+    return obs, results
+
+
+def test_bus_drain_stamps_exact_wait_and_service():
+    obs, results = run_two_sender_contention()
+    assert results[0][0] == 0 and results[1][0] == 1
+
+    frames = [s for s in obs.find("msg") if s.args.get("wait") is not None]
+    assert len(frames) == 4  # two requests + two responses
+    by_interval = {(round(s.start, 6), round(s.end, 6)): s for s in frames}
+
+    # Request 0: head of the queue — all wire, no wait.
+    req0 = by_interval[(0.0, 1.1)]
+    assert req0.args["wait"] == pytest.approx(0.0)
+    assert req0.args["service"] == pytest.approx(1.1)
+    # Request 1: queued behind request 0's full frame.
+    req1 = by_interval[(0.0, 1.7)]
+    assert req1.args["wait"] == pytest.approx(1.1)
+    assert req1.args["service"] == pytest.approx(0.6)
+    # Response 0 (sent at 1.1): waits for request 1's frame to clear.
+    rsp0 = by_interval[(1.1, 1.8)]
+    assert rsp0.args["wait"] == pytest.approx(0.6)
+    assert rsp0.args["service"] == pytest.approx(0.1)
+    # Response 1 (sent at 1.7): waits for response 0's frame.
+    rsp1 = by_interval[(1.7, 1.9)]
+    assert rsp1.args["wait"] == pytest.approx(0.1)
+    assert rsp1.args["service"] == pytest.approx(0.1)
+
+    # The drain hook removed the zero-width marker from every frame.
+    assert not any("queued" in s.args for s in frames)
+
+
+def test_contention_attribution_is_exact_net_vs_queue():
+    obs, _results = run_two_sender_contention()
+    roots = [s for s in obs.roots() if s.name == "call.echo"]
+    assert len(roots) == 2
+    first = next(s for s in roots if s.node == 0)
+    second = next(s for s in roots if s.node == 1)
+
+    # Sender 0: request rides the wire immediately (1.1 s net); its
+    # response spends 0.6 s queued behind sender 1's frame + 0.1 s wire.
+    totals = attribute(obs, first)
+    assert first.duration == pytest.approx(1.8)
+    assert totals["net"] == pytest.approx(1.2)
+    assert totals["queue"] == pytest.approx(0.6)
+    assert totals["client"] == pytest.approx(0.0)
+    assert sum(totals.values()) == pytest.approx(first.duration)
+
+    # Sender 1: request waits 1.1 s for the bus then 0.6 s on the wire;
+    # the response waits 0.1 s behind response 0 then 0.1 s on the wire.
+    totals = attribute(obs, second)
+    assert second.duration == pytest.approx(1.9)
+    assert totals["net"] == pytest.approx(0.7)
+    assert totals["queue"] == pytest.approx(1.2)
+    assert totals["client"] == pytest.approx(0.0)
+    assert sum(totals.values()) == pytest.approx(second.duration)
+
+
+def test_deliver_at_matches_drain_time_for_requests_and_replies():
+    obs, _results = run_two_sender_contention()
+    # The mailbox-wait logic keys off deliver_at: with exact stamping,
+    # neither request sat in the server's mailbox (the server was idle
+    # when each frame arrived), so no queue span is attributed there.
+    assert not obs.find("mailbox_wait")
