@@ -1,0 +1,202 @@
+"""S21 — production traffic: latency vs offered load, with and without
+admission control.
+
+The sweep drives one Bridge server (fast fixed-latency disks, so the
+server's serial request loop is the bottleneck) with open-loop
+multi-class traffic at offered loads spanning the saturation knee:
+roughly 0.5x, 1x, and 2x the measured service capacity (~80 req/s —
+the 70 ms directory probes carried by the metadata class dominate the
+mean service time).  Three arms per load:
+
+* ``none`` — no admission policy.  Open-loop arrivals keep coming while
+  the server falls behind, the queue grows without bound for the whole
+  run, and p99 latency collapses past the knee.
+* ``token-bucket`` — rate-limit near capacity; excess arrivals get a
+  sub-ms typed refusal instead of a queue slot.
+* ``fair`` — bounded queue (shed past depth) + per-class weighted fair
+  queueing, so tool/parallel jobs cannot starve the naive classes.
+
+The check asserts the headline S21 claim: at the highest load the
+no-policy arm's p99 has degraded by an order of magnitude over its
+uncongested value, while at least one admission arm keeps p99 bounded
+*and* holds goodput within 10% of its own peak across the sweep.
+
+Also runnable as a script (the CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_traffic.py --quick
+"""
+
+import sys
+
+from _emit import write_bench_json
+from repro.analysis import format_table
+from repro.harness.experiments import run_traffic_experiment
+
+#: Offered loads (req/s) spanning the knee of a ~80 req/s server.
+LOADS = (40, 80, 160)
+QUICK_LOADS = (40, 160)
+
+#: Policy arms: spec passed to ``build_admission`` per arm.
+ARMS = (
+    ("none", "none"),
+    ("token-bucket", {"policy": "token-bucket", "rate": 75}),
+    ("fair", {"policy": "fair", "depth": 32}),
+)
+
+SEED = 7
+DURATION = 2.0
+
+
+def sweep(quick: bool = False):
+    loads = QUICK_LOADS if quick else LOADS
+    runs = {}
+    for policy, spec in ARMS:
+        for rate in loads:
+            kwargs = {}
+            if isinstance(spec, dict):
+                params = dict(spec)
+                kwargs["policy"] = params.pop("policy")
+                kwargs["admission_params"] = params
+            else:
+                kwargs["policy"] = spec
+            runs[(policy, rate)] = run_traffic_experiment(
+                rate=rate, duration=DURATION, seed=SEED, **kwargs
+            )
+    return runs
+
+
+def _by_policy(runs):
+    table = {}
+    for (policy, rate), run in sorted(runs.items(), key=lambda kv: kv[0][1]):
+        table.setdefault(policy, []).append(run)
+    return table
+
+
+def check(runs) -> None:
+    by_policy = _by_policy(runs)
+    loads = sorted({rate for _policy, rate in runs})
+    top = loads[-1]
+
+    for run in runs.values():
+        # Open-loop: the source issued what the arrival process said,
+        # and every arrival resolved to exactly one outcome.
+        summary = run.summary
+        resolved = sum(
+            summary[outcome]
+            for outcome in ("completed", "throttled", "shed",
+                            "abandoned", "failed")
+        )
+        assert resolved == run.offered, (run.policy, run.offered_rate)
+        assert summary["failed"] == 0, (run.policy, run.offered_rate)
+
+    # The sweep spans the knee: the lowest load leaves the server
+    # unsaturated, the highest drives the unprotected arm to ~100% busy.
+    none_runs = {r.offered_rate: r for r in by_policy["none"]}
+    assert none_runs[loads[0]].server_utilization < 0.9
+    assert none_runs[top].server_utilization > 0.95
+
+    # Past the knee the unprotected arm collapses: p99 grows by an
+    # order of magnitude over the uncongested point.
+    base_p99 = max(none_runs[loads[0]].class_quantile("read", "p99"), 1e-4)
+    collapsed_p99 = none_runs[top].class_quantile("read", "p99")
+    assert collapsed_p99 > 10 * base_p99, (base_p99, collapsed_p99)
+
+    # At least one admission arm keeps p99 bounded at the top load
+    # while holding goodput within 10% of its own peak.
+    protected = []
+    for policy, arm_runs in by_policy.items():
+        if policy == "none":
+            continue
+        at_top = next(r for r in arm_runs if r.offered_rate == top)
+        refusals = at_top.summary["shed"] + at_top.summary["throttled"]
+        assert refusals > 0, policy  # the policy actually engaged
+        peak_goodput = max(r.goodput for r in arm_runs)
+        p99 = at_top.class_quantile("read", "p99")
+        if (p99 < collapsed_p99 / 2.0
+                and at_top.goodput >= 0.9 * peak_goodput):
+            protected.append(policy)
+    assert protected, {
+        policy: next(r for r in arm_runs if r.offered_rate == top).goodput
+        for policy, arm_runs in by_policy.items()
+    }
+
+
+def render(runs) -> str:
+    rows = []
+    for (policy, rate), run in sorted(
+        runs.items(), key=lambda kv: (kv[0][1], kv[0][0])
+    ):
+        summary = run.summary
+        rows.append([
+            rate, policy, run.offered, summary["completed"],
+            summary["shed"] + summary["throttled"],
+            round(run.goodput, 1),
+            round(run.server_utilization, 3),
+            round(run.class_quantile("read", "p50") * 1e3, 2),
+            round(run.class_quantile("read", "p99") * 1e3, 1),
+            round(run.class_quantile("read", "p999") * 1e3, 1),
+        ])
+    return format_table(
+        ["offered r/s", "policy", "arrivals", "ok", "refused",
+         "goodput r/s", "util", "read p50 ms", "p99 ms", "p999 ms"],
+        rows,
+        title=f"open-loop traffic, {DURATION}s of arrivals, seed {SEED}",
+    )
+
+
+def to_json(runs) -> dict:
+    trajectory = []
+    for (policy, rate), run in sorted(
+        runs.items(), key=lambda kv: (kv[0][1], kv[0][0])
+    ):
+        summary = run.summary
+        trajectory.append({
+            "policy": policy,
+            "offered_rate": rate,
+            "arrivals": run.offered,
+            "goodput": summary["goodput"],
+            "completed": summary["completed"],
+            "throttled": summary["throttled"],
+            "shed": summary["shed"],
+            "abandoned": summary["abandoned"],
+            "failed": summary["failed"],
+            "server_utilization": run.server_utilization,
+            "queue_wait_p99": run.queue_wait_p99,
+            "queue_peak_depth": run.queue_peak_depth,
+            "predicted_wait_mm1": run.predicted_wait_mm1,
+            "predicted_wait_md1": run.predicted_wait_md1,
+            "makespan": run.makespan,
+            "classes": summary["classes"],
+        })
+    return {
+        "duration": DURATION,
+        "seed": SEED,
+        "loads": list(sorted({rate for _p, rate in runs})),
+        "policies": sorted({policy for policy, _r in runs}),
+        "trajectory": trajectory,
+    }
+
+
+def test_traffic_ablation(benchmark):
+    from benchmarks.conftest import emit, run_once
+
+    runs = run_once(benchmark, sweep)
+    emit("ablation_traffic", render(runs))
+    write_bench_json("traffic", to_json(runs))
+    check(runs)
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    runs = sweep(quick=quick)
+    print(render(runs))
+    if not quick:
+        write_bench_json("traffic", to_json(runs))
+    check(runs)
+    print("traffic ablation: all assertions passed"
+          + (" (quick mode)" if quick else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -344,6 +344,47 @@ def fabric_server_seconds(names: Sequence[str], servers: int,
 
 
 # ---------------------------------------------------------------------------
+# Queueing models (S21): predicted waits for the traffic cross-check
+# ---------------------------------------------------------------------------
+
+
+def utilization(arrival_rate: float, service_rate: float) -> float:
+    """Offered utilization rho = lambda / mu (may exceed 1 under overload)."""
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be positive, got {service_rate}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival rate must be >= 0, got {arrival_rate}")
+    return arrival_rate / service_rate
+
+
+def mm1_wait_seconds(arrival_rate: float, service_rate: float) -> float:
+    """Mean M/M/1 queueing delay (time waiting, excluding service).
+
+    ``Wq = rho / (mu - lambda)``.  Infinite at or past saturation —
+    exactly what an open-loop driver observes as unbounded queue growth.
+    """
+    rho = utilization(arrival_rate, service_rate)
+    if rho >= 1.0:
+        return math.inf
+    return rho / (service_rate - arrival_rate)
+
+
+def md1_wait_seconds(arrival_rate: float, service_rate: float) -> float:
+    """Mean M/D/1 queueing delay (Pollaczek-Khinchine, deterministic
+    service): ``Wq = rho / (2 mu (1 - rho))`` — half the M/M/1 wait.
+
+    The Bridge Server's per-request CPU charge is a constant, so its
+    admission queue is closer to M/D/1 than M/M/1; the traffic tests
+    check the measured queue delay lands between the two predictions'
+    neighborhood.
+    """
+    rho = utilization(arrival_rate, service_rate)
+    if rho >= 1.0:
+        return math.inf
+    return rho / (2.0 * service_rate * (1.0 - rho))
+
+
+# ---------------------------------------------------------------------------
 # Fitting helpers
 # ---------------------------------------------------------------------------
 

@@ -96,6 +96,11 @@ class CpuCosts:
     #: directory/metadata work — charged *instead of* ``bridge_request``
     #: on the hit path.
     bridge_cache_hit: float = 0.2 * MS
+    #: Refusing a request at the admission stage (S21): decode the
+    #: envelope, consult the policy, ship the typed error — no directory
+    #: consult, no EFS traffic.  Cheap by design: shedding only protects
+    #: the server if a reject costs far less than full service.
+    bridge_fast_reject: float = 0.2 * MS
     #: Tool worker per-record handling (format/compare/copy).
     tool_record: float = 1.0 * MS
     #: One key comparison during in-core sorting.

@@ -15,10 +15,11 @@ from repro.machine import Client, Port
 class BridgeClient:
     """Sequential-file-system-style access through the Bridge Server."""
 
-    def __init__(self, node, server_port: Port, name: str = "bridge-client") -> None:
+    def __init__(self, node, server_port: Port, name: str = "bridge-client",
+                 traffic_class=None) -> None:
         self.node = node
         self.server_port = server_port
-        self._rpc = Client(node, name)
+        self._rpc = Client(node, name, traffic_class=traffic_class)
 
     # ------------------------------------------------------------------
     # File management

@@ -62,10 +62,11 @@ class JobController:
     reads/writes/close stay on that partition.
     """
 
-    def __init__(self, node, server_port: Port, name: str = "controller") -> None:
+    def __init__(self, node, server_port: Port, name: str = "controller",
+                 traffic_class: Optional[str] = None) -> None:
         self.node = node
         self.server_port = server_port
-        self._rpc = Client(node, name)
+        self._rpc = Client(node, name, traffic_class=traffic_class)
         self.job: Optional[JobInfo] = None
         self._job_port: Optional[Port] = None
 

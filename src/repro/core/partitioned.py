@@ -117,11 +117,12 @@ class PartitionedClient:
     """
 
     def __init__(self, node, bridge: PartitionedBridge,
-                 name: str = "pclient") -> None:
+                 name: str = "pclient", traffic_class=None) -> None:
         self.node = node
         self.bridge = bridge
         self._clients = [
-            BridgeClient(node, server.port, name=f"{name}.{index}")
+            BridgeClient(node, server.port, name=f"{name}.{index}",
+                         traffic_class=traffic_class)
             for index, server in enumerate(bridge.servers)
         ]
 

@@ -69,8 +69,19 @@ class RequestPipeline:
 
     def admit(self, probe: bool = False):
         """Charge the per-request server CPU; monitor operations (the
-        directory mutators and Open) also pay the directory probe."""
-        cpu = self.server.config.cpu
+        directory mutators and Open) also pay the directory probe.
+
+        When an S21 admission control is installed it is consulted
+        first: a token-bucket refusal or a queue-depth shed charges only
+        ``bridge_fast_reject`` and raises a typed
+        :class:`~repro.errors.BridgeAdmissionError`, which ships back to
+        the caller like any application error — the server never does
+        directory or EFS work for a refused request."""
+        server = self.server
+        control = server.admission
+        if control is not None:
+            yield from control.admit(server, server._active_request)
+        cpu = server.config.cpu
         yield Timeout(
             cpu.bridge_request + (cpu.bridge_directory_probe if probe else 0)
         )

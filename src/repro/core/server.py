@@ -100,6 +100,22 @@ class BridgeServer(Server):
         )
         # S20: the staged request engine every op composes.
         self.pipeline = RequestPipeline(self)
+        # S21: admission control (token bucket / bounded queue / weighted
+        # fair queueing).  None — the seed default — admits everything
+        # with zero extra branches on the hot path.
+        self.admission = None
+
+    def install_admission(self, control) -> None:
+        """Attach an S21 admission control to this server instance.
+
+        Installs the policy at the pipeline admission stage and, when the
+        policy carries a queue, fronts the server mailbox with it (the
+        base ``Server._next_request`` seam).  Call at any point — e.g.
+        after experiment setup so catalog builds are not rate-limited."""
+        self.admission = control
+        self.scheduler = getattr(control, "queue", None) if control is not None else None
+        if control is not None:
+            control.bind(self)
 
     # ==================================================================
     # File management (the monitor)

@@ -136,6 +136,23 @@ class BridgeJobError(BridgeError):
     """A parallel-open job was misused (unknown job, wrong worker count...)."""
 
 
+class BridgeAdmissionError(BridgeError):
+    """Base class for requests refused by an admission policy (S21).
+
+    These are *load-management* outcomes, not failures: the file system
+    is healthy but chose not to serve this request right now.  Clients
+    under open-loop traffic treat them as first-class results.
+    """
+
+
+class BridgeThrottledError(BridgeAdmissionError):
+    """Rejected by a token-bucket rate limit; retry-after semantics."""
+
+
+class BridgeOverloadError(BridgeAdmissionError):
+    """Shed by a bounded admission queue past its depth threshold."""
+
+
 # ---------------------------------------------------------------------------
 # Tools
 # ---------------------------------------------------------------------------

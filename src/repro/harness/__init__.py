@@ -1,8 +1,9 @@
 """Experiment harness: system builders, runners, and result records."""
 
 from repro.harness.builders import BridgeSystem, build_system, paper_system
-from repro.harness.results import CollectiveRun, ObsRun
+from repro.harness.results import CollectiveRun, ObsRun, TrafficRun
 
 __all__ = [
-    "BridgeSystem", "CollectiveRun", "ObsRun", "build_system", "paper_system",
+    "BridgeSystem", "CollectiveRun", "ObsRun", "TrafficRun", "build_system",
+    "paper_system",
 ]

@@ -51,6 +51,7 @@ class BridgeSystem:
         bridge_cache_blocks: Optional[int] = None,
         obs=False,
         trace_export: Optional[str] = None,
+        admission=None,
     ) -> None:
         if lfs_count < 1:
             raise ValueError("a Bridge system needs at least one LFS node")
@@ -144,8 +145,39 @@ class BridgeSystem:
             self, redundancy, rebuild_rate=rebuild_rate
         )
 
+        # S21 admission control: ``None`` (the default) leaves every
+        # server policy-free — the seed event sequence exactly.  A spec
+        # (policy name or dict, see repro.traffic.build_admission) builds
+        # one independent control per partition; experiments that must
+        # not rate-limit their own setup instead call
+        # ``install_admission`` after building their catalog.
+        if admission is not None:
+            self.install_admission(admission)
+
         if self.obs is not None:
             self._bind_observability()
+
+    def install_admission(self, spec) -> None:
+        """(Re)install an admission policy on every Bridge partition."""
+        from repro.traffic.admission import build_admission
+
+        for bridge in self.bridges:
+            bridge.install_admission(build_admission(spec))
+
+    def admission_counters(self):
+        """Aggregated per-class admission outcomes across partitions
+        (``None`` when no partition has a control installed)."""
+        live = [b.admission for b in self.bridges if b.admission is not None]
+        if not live:
+            return None
+        totals = {"offered": {}, "admitted": {}, "throttled": {}, "shed": {}}
+        for control in live:
+            for key, table in control.counters().items():
+                bucket = totals[key]
+                for cls, count in table.items():
+                    bucket[cls] = bucket.get(cls, 0) + count
+        return {key: dict(sorted(table.items()))
+                for key, table in totals.items()}
 
     def _bind_observability(self) -> None:
         """Adopt component counters into the registry; tag disks with

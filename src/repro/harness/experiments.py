@@ -792,3 +792,156 @@ def run_obs_experiment(p: int = 8, blocks: Optional[int] = None,
         elapsed_obs_off=bare.sim.now,
         elapsed_obs_on=instrumented.sim.now,
     )
+
+
+# ---------------------------------------------------------------------------
+# S21: open-loop production traffic
+# ---------------------------------------------------------------------------
+
+
+def build_traffic_catalog(system, files: int, blocks: int, skew: float = 1.1):
+    """Create the popularity catalog: ``files`` files of ``blocks`` blocks.
+
+    Runs during setup (simulation time advances); returns the
+    :class:`~repro.traffic.ZipfCatalog` the generator samples from.
+    """
+    from repro.traffic import ZipfCatalog
+
+    names = [f"tf{index:03d}" for index in range(files)]
+    for name in names:
+        chunks = [b"%s-%03d|" % (name.encode(), i) for i in range(blocks)]
+        build_file(system, name, chunks)
+    return ZipfCatalog(names, blocks, skew=skew)
+
+
+def run_traffic_experiment(
+    rate: float,
+    duration: float = 4.0,
+    policy: str = "none",
+    p: int = 4,
+    servers: int = 1,
+    seed: int = 0,
+    files: int = 24,
+    blocks: int = 12,
+    mix: Optional[Dict[str, float]] = None,
+    arrival_kind: str = "poisson",
+    patience: Optional[float] = None,
+    slow_fraction: float = 0.0,
+    skew: float = 1.1,
+    admission_params: Optional[Dict[str, object]] = None,
+    obs: bool = False,
+):
+    """One open-loop traffic run: build, drive, account (S21 headline).
+
+    The system uses fast fixed-latency disks so the Bridge Server's
+    serial per-request CPU is the bottleneck — saturation is a *server*
+    phenomenon, which is what admission control protects.  The policy is
+    installed only after the catalog is built (setup must not be
+    rate-limited).  Returns a :class:`~repro.harness.results.TrafficRun`.
+    """
+    from repro.analysis.models import md1_wait_seconds, mm1_wait_seconds
+    from repro.harness.results import TrafficRun
+    from repro.storage import FixedLatency
+    from repro.traffic import RequestMix, SLORecorder, TrafficGenerator
+
+    system = BridgeSystem(
+        p, seed=seed, disk_latency=FixedLatency(0.0005),
+        bridge_server_count=servers, obs=obs,
+    )
+    catalog = build_traffic_catalog(system, files, blocks, skew=skew)
+    if policy not in (None, "none"):
+        spec = {"policy": policy, **(admission_params or {})}
+        system.install_admission(spec)
+
+    registry = system.obs.metrics if system.obs is not None else None
+    recorder = SLORecorder(registry=registry)
+    generator = TrafficGenerator(
+        system, catalog,
+        mix=RequestMix(mix) if mix is not None else None,
+        recorder=recorder,
+        patience=patience,
+        slow_fraction=slow_fraction,
+    )
+
+    served_before = sum(b.requests_served for b in system.bridges)
+    busy_marks = [b.busy_time for b in system.bridges]
+    busy_before = sum(busy_marks)
+    start = system.sim.now
+    system.run(
+        generator.open_loop(rate, duration, arrival_kind=arrival_kind),
+        name="traffic-source",
+    )
+    makespan = system.sim.now
+
+    served_delta = sum(b.requests_served for b in system.bridges) - served_before
+    busy_delta = sum(b.busy_time for b in system.bridges) - busy_before
+    # Measured per-server service capacity: requests per busy-second of
+    # the fabric (fast rejects included — they are served work too).
+    service_rate = served_delta / busy_delta if busy_delta > 0 else 0.0
+    window = makespan - start
+    served_rate = served_delta / window if window > 0 else 0.0
+    busiest = max(
+        ((b.busy_time - mark) / window if window > 0 else 0.0
+         for b, mark in zip(system.bridges, busy_marks)),
+        default=0.0,
+    )
+
+    # Queue-wait statistics from installed admission queues (empty when
+    # the policy has no queue or no policy is installed).
+    waits = [
+        b.admission.queue.wait for b in system.bridges
+        if b.admission is not None and b.admission.queue is not None
+    ]
+    observed = [w for w in waits if w.count]
+    if observed:
+        wait_mean = sum(w.total for w in observed) / sum(w.count for w in observed)
+        wait_p99 = max(w.p99 for w in observed)
+    else:
+        wait_mean = 0.0
+        wait_p99 = 0.0
+    peak_depth = max(
+        (b.admission.queue.peak_depth for b in system.bridges
+         if b.admission is not None and b.admission.queue is not None),
+        default=0,
+    )
+
+    # Per-server offered rate for the queueing predictions: arrivals
+    # that reached a server, spread across partitions.
+    per_server_lambda = (served_delta / window / servers) if window > 0 else 0.0
+    per_server_mu = service_rate  # requests per busy-second of one loop
+    if per_server_mu > 0:
+        predicted_mm1 = mm1_wait_seconds(
+            min(per_server_lambda, per_server_mu * 0.999), per_server_mu
+        )
+        predicted_md1 = md1_wait_seconds(
+            min(per_server_lambda, per_server_mu * 0.999), per_server_mu
+        )
+    else:
+        predicted_mm1 = 0.0
+        predicted_md1 = 0.0
+
+    return TrafficRun(
+        policy=policy or "none",
+        p=p,
+        servers=servers,
+        offered_rate=rate,
+        duration=duration,
+        arrival_kind=arrival_kind,
+        offered=generator.spawned,
+        # Goodput and rates are measured over the *service window* —
+        # arrivals plus the post-source drain — so an unprotected run
+        # that queues half its work past the driving window cannot
+        # report goodput above the server's physical capacity.
+        summary=recorder.summary(window),
+        admission=system.admission_counters(),
+        served_rate=served_rate,
+        service_rate=service_rate,
+        server_utilization=busiest,
+        queue_wait_mean=wait_mean,
+        queue_wait_p99=wait_p99,
+        queue_peak_depth=peak_depth,
+        predicted_wait_mm1=predicted_mm1,
+        predicted_wait_md1=predicted_md1,
+        makespan=makespan,
+        events=system.sim.events_executed,
+    )

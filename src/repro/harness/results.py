@@ -313,3 +313,51 @@ class ObsRun:
             self.events_obs_off == self.events_obs_on
             and self.elapsed_obs_off == self.elapsed_obs_on
         )
+
+
+@dataclass
+class TrafficRun:
+    """One S21 open-loop traffic run against one admission policy arm.
+
+    ``summary`` is the :class:`~repro.traffic.SLORecorder` dump —
+    per-class offered/outcome counts and p50/p99/p999 latencies;
+    ``admission`` the per-class server-side outcome counters (``None``
+    for the no-policy arm); the ``queue_wait_*``/``predicted_wait_*``
+    pairs are the measured-vs-M/M/1-vs-M/D/1 cross-check inputs.
+    """
+
+    policy: str
+    p: int
+    servers: int
+    offered_rate: float  # requested arrival rate (requests/second)
+    duration: float  # source window, simulated seconds
+    arrival_kind: str
+    offered: int  # arrivals actually generated
+    summary: Dict[str, object]  # SLORecorder.summary(duration)
+    admission: Optional[Dict[str, Dict[str, int]]]
+    served_rate: float  # server-side admitted+completed per second
+    service_rate: float  # measured per-server service capacity (req/s)
+    server_utilization: float  # busiest partition's busy fraction
+    queue_wait_mean: float  # measured scheduler queue delay (seconds)
+    queue_wait_p99: float
+    queue_peak_depth: int
+    predicted_wait_mm1: float
+    predicted_wait_md1: float
+    makespan: float  # final simulated clock (source window + drain)
+    events: int
+
+    @property
+    def goodput(self) -> float:
+        return float(self.summary["goodput"])
+
+    @property
+    def completed(self) -> int:
+        return int(self.summary["completed"])
+
+    @property
+    def refusal_rate(self) -> float:
+        return float(self.summary["refusal_rate"])
+
+    def class_quantile(self, cls: str, which: str) -> float:
+        """Per-class latency quantile ("p50"/"p99"/"p999") from the dump."""
+        return float(self.summary["classes"][cls][which])

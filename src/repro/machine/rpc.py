@@ -34,6 +34,17 @@ class Request:
     # to link the handler span to its caller.  Always None when
     # observability is disabled.
     trace_ctx: Optional[Any] = None
+    # S21 traffic class ("naive", "tool", "parallel", "meta", ...).
+    # Stamped by clients created with a ``traffic_class``; ``None`` (the
+    # default, and everything outside the traffic subsystem) classifies
+    # server-side by method name.  Admission policies and per-class SLO
+    # accounting key off this.
+    traffic_class: Optional[str] = None
+    # S21 send timestamp (simulated seconds).  Admission queues measure
+    # a request's wait from here, so time spent in the server mailbox
+    # while the server was busy counts — that sojourn is what the
+    # queueing models in repro.analysis predict.
+    sent_at: Optional[float] = None
 
 
 @dataclass
@@ -86,14 +97,49 @@ class Server:
         self.port = node.port(name)
         self.requests_served = 0
         self.busy_time = 0.0
+        # S21: optional admission-queue front-end.  When installed (see
+        # repro.traffic.admission) the loop drains its mailbox into the
+        # scheduler and lets it pick the next request — bounded-depth
+        # shedding and weighted fair queueing live there.  ``None`` (the
+        # default) is the plain FIFO mailbox, byte-identical to the seed.
+        self.scheduler = None
+        # The request currently being dispatched; the pipeline admission
+        # stage reads this to classify and count without re-plumbing the
+        # envelope through every handler signature.
+        self._active_request: Optional[Request] = None
         self.process = node.spawn(self._loop(), name=name, daemon=True)
 
     # ------------------------------------------------------------------
 
+    def _next_request(self):
+        """Yield the next request to serve (generator, kernel-driven).
+
+        Default: block on the port like any mailbox server.  With a
+        scheduler installed, drain every message that has already arrived
+        into it (a non-blocking sweep — arrivals during service queued in
+        the mailbox), then let the scheduler pick; only when it holds
+        nothing do we fall back to a blocking receive."""
+        scheduler = self.scheduler
+        if scheduler is None:
+            request = yield self.port.recv()
+            return request
+        mailbox = self.port.mailbox
+        now = self.node.machine.sim.now
+        while True:
+            message = mailbox.poll()
+            if message is None:
+                break
+            scheduler.enqueue(message, now)
+        if not len(scheduler):
+            message = yield self.port.recv()
+            scheduler.enqueue(message, self.node.machine.sim.now)
+        return scheduler.pick(self.node.machine.sim.now)
+
     def _loop(self):
         sim = self.node.machine.sim
         while True:
-            request = yield self.port.recv()
+            request = yield from self._next_request()
+            self._active_request = request
             started = sim.now
             obs = sim.obs
             server_span = None
@@ -202,13 +248,19 @@ class Client:
     port manually (see the Bridge Server's parallel read).
     """
 
-    def __init__(self, node: Node, name: str = "client") -> None:
+    def __init__(self, node: Node, name: str = "client",
+                 traffic_class: Optional[str] = None) -> None:
         self.node = node
         self.reply_port = node.port(f"{name}.reply")
+        # S21: stamped onto every outgoing request so admission policies
+        # and SLO recording can account per class.  None = untagged.
+        self.traffic_class = traffic_class
 
     def call(self, port: Port, method: str, size: int = 0, **args):
         """Generator performing one call: ``value = yield from client.call(...)``."""
-        request = Request(method=method, args=args, reply_to=self.reply_port, size=size)
+        request = Request(method=method, args=args, reply_to=self.reply_port,
+                          size=size, traffic_class=self.traffic_class,
+                          sent_at=self.node.machine.sim.now)
         obs = self.node.machine.sim.obs
         span = None
         prev = None
@@ -233,7 +285,9 @@ class Client:
         replies are not matched to requests, so this is only safe when all
         outstanding requests are homogeneous (e.g. a barrier of creates).
         """
-        request = Request(method=method, args=args, reply_to=self.reply_port, size=size)
+        request = Request(method=method, args=args, reply_to=self.reply_port,
+                          size=size, traffic_class=self.traffic_class,
+                          sent_at=self.node.machine.sim.now)
         self.node.send(port, request, size=size)
 
     def collect(self, count: int):
@@ -284,7 +338,8 @@ def gather(node: Node, calls, max_in_flight: Optional[int] = None):
         legs = []
         for port, method, args, size in batch:
             reply_port = node.port()
-            request = Request(method, args, reply_port, size)
+            request = Request(method, args, reply_port, size,
+                              sent_at=node.machine.sim.now)
             leg = None
             if obs is not None:
                 # One client-side span per fan-out leg; sends don't yield,

@@ -106,7 +106,14 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """The q-quantile (0 < q <= 1), interpolated within its bucket."""
+        """The q-quantile (0 < q <= 1), interpolated within its bucket.
+
+        The estimate is clamped to the observed ``[min, max]`` range:
+        with few samples the in-bucket interpolation can wander past
+        values that were ever recorded (one 1.5 ms sample in a
+        [1, 2] ms bucket would report p999 ≈ 2 ms), and tail quantiles
+        of a histogram must never exceed the largest observation.
+        """
         if not 0.0 < q <= 1.0:
             raise ValueError(f"quantile must be in (0, 1], got {q}")
         if self.count == 0:
@@ -114,17 +121,29 @@ class Histogram:
         target = q * self.count
         cumulative = 0
         lower = 0.0
+        estimate = None
         for upper, bucket_count in zip(self.bounds, self.counts):
             if bucket_count:
                 cumulative += bucket_count
                 if cumulative >= target:
                     # Linear interpolation inside [lower, upper].
                     within = target - (cumulative - bucket_count)
-                    return lower + (upper - lower) * within / bucket_count
+                    estimate = lower + (upper - lower) * within / bucket_count
+                    break
             lower = upper
-        # Landed in the overflow bucket: report the observed maximum,
-        # clamped below by the top finite edge.
-        return max(self.bounds[-1], self.max or self.bounds[-1])
+        if estimate is None:
+            # Landed in the overflow bucket: the observed maximum is the
+            # only defensible point estimate.
+            estimate = self.max if self.max is not None else self.bounds[-1]
+        if self.min is not None and estimate < self.min:
+            estimate = self.min
+        if self.max is not None and estimate > self.max:
+            estimate = self.max
+        return estimate
+
+    def quantiles(self, qs: Sequence[float]) -> Dict[float, float]:
+        """Many quantiles at once: ``{q: estimate}`` for each q in ``qs``."""
+        return {q: self.quantile(q) for q in qs}
 
     @property
     def p50(self) -> float:
@@ -137,6 +156,10 @@ class Histogram:
     @property
     def p99(self) -> float:
         return self.quantile(0.99)
+
+    @property
+    def p999(self) -> float:
+        return self.quantile(0.999)
 
     def bucket_snapshot(self) -> List[Tuple[float, int]]:
         """``(upper_bound, count)`` pairs plus the overflow bucket."""
@@ -227,6 +250,7 @@ class MetricsRegistry:
                     "p50": instrument.p50,
                     "p95": instrument.p95,
                     "p99": instrument.p99,
+                    "p999": instrument.p999,
                     # inf is not valid strict JSON: the overflow bucket's
                     # edge is rendered as None in snapshots.
                     "buckets": [

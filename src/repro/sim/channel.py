@@ -40,13 +40,23 @@ class Mailbox:
         self.messages_delivered += 1
         if self._waiters:
             process = self._waiters.popleft()
-            process.sim._schedule(0.0, process._step, message)
+            process.sim._schedule(0.0, process._resume, message)
         else:
             self._queue.append(message)
 
     def recv(self) -> "_Recv":
         """Waitable receive: ``message = yield mailbox.recv()``."""
         return _Recv(self)
+
+    def poll(self) -> Optional[Any]:
+        """Non-blocking receive: pop the next queued message, or ``None``.
+
+        Used by servers that front their mailbox with an admission queue
+        (S21): drain everything that has already arrived, hand it to the
+        scheduler, then fall back to a blocking :meth:`recv` only when
+        nothing is pending."""
+        queue = self._queue
+        return queue.popleft() if queue else None
 
     # ------------------------------------------------------------------
 
@@ -78,6 +88,6 @@ class _Recv:
     def _wait(self, process) -> None:
         queue = self.mailbox._queue
         if queue:
-            process.sim._schedule(0.0, process._step, queue.popleft())
+            process.sim._schedule(0.0, process._resume, queue.popleft())
         else:
             self.mailbox._waiters.append(process)

@@ -32,7 +32,7 @@ class Timeout:
         self.value = value
 
     def _wait(self, process) -> None:
-        process.sim._schedule(self.delay, process._step, self.value)
+        process.sim._schedule(self.delay, process._resume, self.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Timeout({self.delay!r})"
@@ -62,11 +62,11 @@ class Signal:
         self.value = value
         waiters, self._waiters = self._waiters, []
         for process in waiters:
-            self.sim._schedule(0.0, process._step, value)
+            self.sim._schedule(0.0, process._resume, value)
 
     def _wait(self, process) -> None:
         if self.fired:
-            process.sim._schedule(0.0, process._step, self.value)
+            process.sim._schedule(0.0, process._resume, self.value)
         else:
             self._waiters.append(process)
 
@@ -96,7 +96,7 @@ class AllOf:
         pending = [s for s in self.signals if not s.fired]
         self._remaining = len(pending)
         if not self._remaining:
-            process.sim._schedule(0.0, process._step, self._values())
+            process.sim._schedule(0.0, process._resume, self._values())
             return
         for signal in pending:
             signal._waiters.append(_AllOfWatcher(self))
@@ -105,7 +105,7 @@ class AllOf:
         self._remaining -= 1
         if not self._remaining:
             process = self._process
-            process.sim._schedule(0.0, process._step, self._values())
+            process.sim._schedule(0.0, process._resume, self._values())
 
     def _values(self) -> List[Any]:
         return [s.value for s in self.signals]
@@ -121,6 +121,10 @@ class _AllOfWatcher:
 
     def _step(self, _value: Any) -> None:
         self.allof._child_done()
+
+    # Watchers sit in signal waiter lists next to real processes, which
+    # resume through their cached ``_resume`` binding.
+    _resume = _step
 
     @property
     def sim(self):
@@ -146,7 +150,7 @@ class AnyOf:
         self._process = process
         for index, signal in enumerate(self.signals):
             if signal.fired:
-                process.sim._schedule(0.0, process._step, (index, signal.value))
+                process.sim._schedule(0.0, process._resume, (index, signal.value))
                 return
         for index, signal in enumerate(self.signals):
             watcher = _AnyOfWatcher(self, index)
@@ -166,7 +170,7 @@ class AnyOf:
                 signal._waiters.remove(watcher)
             except ValueError:
                 pass
-        self._process.sim._schedule(0.0, self._process._step, (index, value))
+        self._process.sim._schedule(0.0, self._process._resume, (index, value))
 
 
 class _AnyOfWatcher:
@@ -180,6 +184,8 @@ class _AnyOfWatcher:
 
     def _step(self, value: Any) -> None:
         self.anyof._child_done(self.index, value)
+
+    _resume = _step
 
     @property
     def sim(self):

@@ -68,7 +68,7 @@ class Resource:
                 self.sim.obs.timeline.record_queue_depth(
                     self.name, self.sim.now, len(self._waiters)
                 )
-            process.sim._schedule(0.0, process._step, None)
+            process.sim._schedule(0.0, process._resume, None)
         else:
             self.in_use -= 1
             if self.in_use == 0 and self._busy_since is not None:
@@ -82,7 +82,7 @@ class Resource:
             self._busy_since = self.sim.now
         self.in_use += 1
         self.total_acquires += 1
-        process.sim._schedule(0.0, process._step, None)
+        process.sim._schedule(0.0, process._resume, None)
 
     @property
     def queue_length(self) -> int:

@@ -96,7 +96,7 @@ class Simulator:
             # (covers Detached handlers and prefetch workers).
             process.obs_ctx = self.obs.current
         self._processes.append(process)
-        self._schedule(0.0, process._step, None)
+        self._schedule(0.0, process._resume, None)
         if self.trace is not None:
             self.trace.record("spawn", process=name, daemon=daemon)
         return process
@@ -122,18 +122,29 @@ class Simulator:
         blocked.  ``max_events`` guards against runaway simulations.
         """
         heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while heap:
-            time, _seq, fn, arg = heap[0]
-            if until is not None and time > until:
-                self.now = until
-                break
-            heapq.heappop(heap)
-            self.now = time
-            fn(arg)
-            executed += 1
-            if max_events is not None and executed >= max_events:
-                break
+        if until is None and max_events is None:
+            # Run-to-drain fast path: no horizon or budget checks inside
+            # the loop.  An open-loop traffic run executes ~10^5 events
+            # per simulated second, so the per-event constant matters.
+            while heap:
+                time, _seq, fn, arg = pop(heap)
+                self.now = time
+                fn(arg)
+                executed += 1
+        else:
+            while heap:
+                time, _seq, fn, arg = heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                pop(heap)
+                self.now = time
+                fn(arg)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
         if until is not None and not heap and self.now < until:
             # The heap drained before the horizon (or was empty to begin
             # with): advance the clock to ``until`` just as the non-empty

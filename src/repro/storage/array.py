@@ -129,13 +129,13 @@ class StorageArray:
             request = self._pending.pop(0)
             if self.failed:
                 request.error = DeviceFailedError(f"{self.name} has failed")
-                sim._schedule(0.0, request.waiter._step, request)
+                sim._schedule(0.0, request.waiter._resume, request)
                 continue
             if not 0 <= request.block < self.capacity_blocks:
                 request.error = BadBlockAddressError(
                     f"{self.name}: block {request.block} out of range"
                 )
-                sim._schedule(0.0, request.waiter._step, request)
+                sim._schedule(0.0, request.waiter._resume, request)
                 continue
             service = (
                 self.seek_time
@@ -152,4 +152,4 @@ class StorageArray:
                 )
             else:
                 self.blocks[request.block] = request.data
-            sim._schedule(0.0, request.waiter._step, request)
+            sim._schedule(0.0, request.waiter._resume, request)

@@ -172,7 +172,7 @@ class SimulatedDisk:
             if self.failed:
                 for request in self._pending:
                     request.error = DeviceFailedError(f"{self.name} has failed")
-                    sim._schedule(0.0, request.waiter._step, request)
+                    sim._schedule(0.0, request.waiter._resume, request)
                 self._pending.clear()
                 continue
             index = self.scheduler.select(self._pending, self.head_position)
@@ -198,7 +198,7 @@ class SimulatedDisk:
                 obs.timeline.record_disk_busy(self.name, sim.now - service, sim.now)
             self.head_position = new_position
             self._perform(request)
-            sim._schedule(0.0, request.waiter._step, request)
+            sim._schedule(0.0, request.waiter._resume, request)
 
     # ------------------------------------------------------------------
 

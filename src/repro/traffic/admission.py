@@ -1,0 +1,373 @@
+"""Admission control & fairness for the Bridge Server (S21).
+
+Three pluggable mechanisms, installable individually or stacked, all
+hanging off the two seams S20/S21 provide:
+
+* **Token bucket** (:class:`TokenBucket`) — rate-limits admitted
+  requests at the pipeline admission stage.  Refusals cost
+  ``cpu.bridge_fast_reject`` and raise
+  :class:`~repro.errors.BridgeThrottledError`.
+* **Bounded queue with load shedding** (:class:`AdmissionQueue` with
+  ``depth > 0``) — fronts the server mailbox (the
+  ``Server._next_request`` seam).  Arrivals beyond the depth threshold
+  are marked for shedding and fast-rejected with
+  :class:`~repro.errors.BridgeOverloadError` *before* any directory or
+  EFS work; under overload the server spends its time serving the
+  bounded queue, not growing it.
+* **Weighted fair queueing** (:class:`AdmissionQueue` with weights) —
+  start-time fair queueing across traffic classes, so a burst of heavy
+  tool/parallel jobs cannot starve naive interactive clients.  Virtual
+  time advances with the start tags of picked requests; each class's
+  backlog finishes in proportion to its weight.
+
+:class:`AdmissionControl` composes them and owns the per-class outcome
+counters (offered / admitted / throttled / shed) plus queue-wait
+statistics (the measured side of the M/M/1 cross-check in
+:mod:`repro.analysis.models`).  Everything defaults *off*: a server
+without an installed control runs the seed byte sequence exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import BridgeOverloadError, BridgeThrottledError
+from repro.obs.metrics import Histogram
+from repro.sim import Timeout
+
+#: Method-name fallback classification for requests that carry no
+#: explicit ``traffic_class`` stamp (anything outside the S21 generator).
+_METHOD_CLASSES: Dict[str, str] = {
+    "seq_read": "read", "random_read": "read",
+    "seq_write": "write", "random_write": "write",
+    "create": "meta", "delete": "meta", "open": "meta",
+    "get_info": "meta", "get_block_map": "meta",
+    "list_read": "tool", "list_write": "tool",
+    "parallel_open": "parallel", "parallel_read": "parallel",
+    "parallel_write": "parallel", "parallel_close": "parallel",
+}
+
+#: Continuations of already-admitted work.  Admission control gates
+#: jobs at the door (``parallel_open``); once a job holds server-side
+#: state, refusing its reads/writes/close would leak that state (the
+#: ``_jobs`` entry survives until ``parallel_close``), so continuation
+#: methods bypass the bucket and can never be shed — the bounded queue
+#: admits them even past its depth threshold.
+CONTINUATION_METHODS = frozenset(
+    {"parallel_read", "parallel_write", "parallel_close"}
+)
+
+#: Default fair-queueing weights: naive interactive classes outweigh
+#: heavy batch classes roughly 4:1 — tool jobs still progress, but they
+#: cannot occupy more than their share of server slots under backlog.
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "read": 4.0, "write": 4.0, "meta": 2.0, "tool": 1.0, "parallel": 1.0,
+    "other": 1.0,
+}
+
+#: Queue-wait histogram bounds: sub-ms scheduling gaps up to multi-second
+#: overload backlogs.
+_WAIT_BOUNDS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 30.0,
+)
+
+
+def classify(request: Any) -> str:
+    """Traffic class of a request envelope (stamp first, then method)."""
+    cls = getattr(request, "traffic_class", None)
+    if cls is not None:
+        return cls
+    method = getattr(request, "method", None)
+    if method is None:
+        return "other"
+    return _METHOD_CLASSES.get(method, "other")
+
+
+class TokenBucket:
+    """A deterministic token bucket: ``rate`` tokens/second, ``burst`` cap."""
+
+    __slots__ = ("rate", "burst", "tokens", "last_refill")
+
+    def __init__(self, rate: float, burst: Optional[float] = None) -> None:
+        if rate <= 0:
+            raise ValueError(f"token rate must be positive, got {rate}")
+        self.rate = rate
+        self.burst = float(burst) if burst is not None else max(1.0, rate * 0.05)
+        if self.burst < 1.0:
+            raise ValueError(f"burst must allow at least one token")
+        self.tokens = self.burst
+        self.last_refill = 0.0
+
+    def try_take(self, now: float) -> bool:
+        elapsed = now - self.last_refill
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionQueue:
+    """Bounded, optionally class-fair front-end for a server mailbox.
+
+    Implements the scheduler protocol the base ``Server._next_request``
+    seam expects: ``enqueue(message, now)``, ``pick(now)``, ``len()``.
+
+    * ``depth > 0`` bounds the number of *waiting* requests; arrivals
+      beyond it are marked ``admission_shed`` and served first through a
+      reject lane (shedding must be cheaper than queueing, so rejects
+      never wait behind real work).
+    * ``weights`` switches the wait lane from FIFO to start-time fair
+      queueing over traffic classes: each request gets a start tag
+      ``S = max(V, F_class)`` and the class finish tag advances by
+      ``1/weight``; ``pick`` serves the smallest start tag (ties broken
+      by arrival order), and virtual time ``V`` follows the picked tags.
+      Backlogged classes therefore share the server in proportion to
+      their weights — the fairness invariant the S21 tests pin down.
+    """
+
+    def __init__(self, depth: int = 0,
+                 weights: Optional[Dict[str, float]] = None) -> None:
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        self.depth = depth
+        self.weights = dict(weights) if weights is not None else None
+        self._fifo: Deque[Tuple[float, Any]] = deque()
+        self._classes: Dict[str, Deque[Tuple[float, float, int, Any]]] = {}
+        self._finish: Dict[str, float] = {}
+        self._virtual = 0.0
+        self._arrival_seq = 0
+        self._reject: Deque[Any] = deque()
+        self._waiting = 0
+        self.shed_count = 0
+        self.peak_depth = 0
+        #: Measured queue delay of admitted requests (pick time minus
+        #: enqueue time) — the observable the analysis models predict.
+        self.wait = Histogram(bounds=_WAIT_BOUNDS)
+
+    # -- scheduler protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return self._waiting + len(self._reject)
+
+    def enqueue(self, message: Any, now: float) -> None:
+        if (self.depth > 0 and self._waiting >= self.depth
+                and getattr(message, "method", None)
+                not in CONTINUATION_METHODS):
+            # Past the threshold: mark and fast-lane for rejection.
+            try:
+                message.admission_shed = True
+            except AttributeError:  # pragma: no cover - foreign message
+                pass
+            self.shed_count += 1
+            self._reject.append(message)
+            return
+        self._waiting += 1
+        if self._waiting > self.peak_depth:
+            self.peak_depth = self._waiting
+        waiting_since = getattr(message, "sent_at", None)
+        if waiting_since is None:
+            waiting_since = now
+        if self.weights is None:
+            self._fifo.append((waiting_since, message))
+            return
+        cls = classify(message)
+        weight = self.weights.get(cls)
+        if weight is None:
+            weight = self.weights.get("other", 1.0)
+        start = max(self._virtual, self._finish.get(cls, 0.0))
+        self._finish[cls] = start + 1.0 / weight
+        self._arrival_seq += 1
+        lane = self._classes.get(cls)
+        if lane is None:
+            lane = self._classes[cls] = deque()
+        lane.append((start, waiting_since, self._arrival_seq, message))
+
+    def pick(self, now: float) -> Any:
+        if self._reject:
+            return self._reject.popleft()
+        if self.weights is None:
+            enqueued_at, message = self._fifo.popleft()
+            self._waiting -= 1
+            self.wait.observe(now - enqueued_at)
+            return message
+        best_cls = None
+        best_key = None
+        for cls, lane in self._classes.items():
+            if not lane:
+                continue
+            start, _enqueued_at, seq, _message = lane[0]
+            key = (start, seq)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_cls = cls
+        if best_cls is None:
+            raise IndexError("pick from an empty admission queue")
+        start, enqueued_at, _seq, message = self._classes[best_cls].popleft()
+        self._virtual = max(self._virtual, start)
+        self._waiting -= 1
+        self.wait.observe(now - enqueued_at)
+        return message
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "wfq" if self.weights is not None else "fifo"
+        return (f"AdmissionQueue({mode}, waiting={self._waiting}, "
+                f"depth={self.depth or 'unbounded'}, shed={self.shed_count})")
+
+
+class AdmissionControl:
+    """One server's composed admission policy + outcome accounting."""
+
+    def __init__(self, policy: str = "none",
+                 bucket: Optional[TokenBucket] = None,
+                 queue: Optional[AdmissionQueue] = None) -> None:
+        self.policy = policy
+        self.bucket = bucket
+        self.queue = queue
+        self.offered: Dict[str, int] = {}
+        self.admitted: Dict[str, int] = {}
+        self.throttled: Dict[str, int] = {}
+        self.shed: Dict[str, int] = {}
+        self._server = None
+
+    # ------------------------------------------------------------------
+
+    def bind(self, server) -> None:
+        """Called by ``BridgeServer.install_admission``; adopts the
+        queue-wait histogram into the metrics registry when S19
+        observability is attached."""
+        self._server = server
+        obs = server.node.machine.sim.obs
+        if obs is not None and self.queue is not None:
+            obs.metrics.adopt(f"{server.name}.admission.queue_wait",
+                              self.queue.wait)
+
+    @staticmethod
+    def _bump(table: Dict[str, int], cls: str) -> None:
+        table[cls] = table.get(cls, 0) + 1
+
+    def admit(self, server, request: Any):
+        """The pipeline admission-stage hook (generator).
+
+        Either returns (request admitted; the caller charges the normal
+        per-request CPU next) or charges ``bridge_fast_reject`` and
+        raises a typed :class:`~repro.errors.BridgeAdmissionError`.
+        Refusals are first-class outcomes: per-class counters always,
+        obs counters + a zero-length span event when S19 is attached.
+        """
+        cls = classify(request)
+        self._bump(self.offered, cls)
+        cpu = server.config.cpu
+        obs = server.node.machine.sim.obs
+        if request is not None and getattr(request, "admission_shed", False):
+            self._bump(self.shed, cls)
+            if obs is not None:
+                obs.metrics.counter(
+                    f"{server.name}.admission.shed.{cls}").inc()
+                obs.event("admission.shed", "queue", node=server.node.index,
+                          traffic_class=cls)
+            yield Timeout(cpu.bridge_fast_reject)
+            raise BridgeOverloadError(
+                f"{server.name}: admission queue full "
+                f"(depth {self.queue.depth if self.queue else 0}, class {cls})"
+            )
+        if (self.bucket is not None
+                and getattr(request, "method", None)
+                not in CONTINUATION_METHODS):
+            now = server.node.machine.sim.now
+            if not self.bucket.try_take(now):
+                self._bump(self.throttled, cls)
+                if obs is not None:
+                    obs.metrics.counter(
+                        f"{server.name}.admission.throttled.{cls}").inc()
+                    obs.event("admission.throttled", "queue",
+                              node=server.node.index, traffic_class=cls)
+                yield Timeout(cpu.bridge_fast_reject)
+                raise BridgeThrottledError(
+                    f"{server.name}: token bucket empty "
+                    f"(rate {self.bucket.rate:g}/s, class {cls})"
+                )
+        self._bump(self.admitted, cls)
+        if obs is not None:
+            obs.metrics.counter(f"{server.name}.admission.admitted.{cls}").inc()
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Plain-data outcome counters (per class), for results/JSON."""
+        return {
+            "offered": dict(sorted(self.offered.items())),
+            "admitted": dict(sorted(self.admitted.items())),
+            "throttled": dict(sorted(self.throttled.items())),
+            "shed": dict(sorted(self.shed.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"AdmissionControl({self.policy!r}, "
+                f"offered={sum(self.offered.values())}, "
+                f"throttled={sum(self.throttled.values())}, "
+                f"shed={sum(self.shed.values())})")
+
+
+def build_admission(spec, **overrides) -> Optional[AdmissionControl]:
+    """Build one server's :class:`AdmissionControl` from a spec.
+
+    ``spec`` is ``None``/"none" (no control), a policy name, or a dict
+    ``{"policy": name, ...params}``.  Policies:
+
+    * ``"token-bucket"`` — rate limit only (params ``rate``, ``burst``).
+    * ``"bounded"`` — FIFO queue with load shedding (param ``depth``).
+    * ``"fair"`` — weighted fair queueing + shedding (params ``depth``,
+      ``weights``).
+    * ``"fifo"`` — unbounded measuring FIFO front-end (no refusals;
+      exists to observe queue waits for the analysis cross-check).
+
+    Each *server* needs its own instance (buckets and queues hold
+    mutable state), so builders call this once per partition.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, AdmissionControl):
+        return spec
+    if isinstance(spec, str):
+        params: Dict[str, Any] = {"policy": spec}
+    elif isinstance(spec, dict):
+        params = dict(spec)
+    else:
+        raise TypeError(f"admission spec must be None/str/dict, got {spec!r}")
+    params.update(overrides)
+    policy = params.pop("policy", "none")
+    if policy in (None, "none"):
+        return None
+    if policy == "token-bucket":
+        rate = params.pop("rate", 500.0)
+        burst = params.pop("burst", None)
+        _reject_extras(policy, params)
+        return AdmissionControl(policy, bucket=TokenBucket(rate, burst))
+    if policy == "bounded":
+        depth = params.pop("depth", 32)
+        _reject_extras(policy, params)
+        return AdmissionControl(policy, queue=AdmissionQueue(depth=depth))
+    if policy == "fair":
+        depth = params.pop("depth", 32)
+        weights = params.pop("weights", None) or dict(DEFAULT_WEIGHTS)
+        _reject_extras(policy, params)
+        return AdmissionControl(
+            policy, queue=AdmissionQueue(depth=depth, weights=weights)
+        )
+    if policy == "fifo":
+        _reject_extras(policy, params)
+        return AdmissionControl(policy, queue=AdmissionQueue(depth=0))
+    raise ValueError(f"unknown admission policy {policy!r}")
+
+
+def _reject_extras(policy: str, params: Dict[str, Any]) -> None:
+    if params:
+        raise ValueError(
+            f"admission policy {policy!r} got unknown parameters "
+            f"{sorted(params)}"
+        )

@@ -72,6 +72,13 @@ def test_observability_example():
     trace.unlink()  # keep the repo clean
 
 
+def test_traffic_example():
+    out = run_script(EXAMPLES / "traffic.py", "1.0")
+    assert "latency vs offered load" in out
+    assert "fair" in out
+    assert "sheds excess arrivals" in out
+
+
 def test_reproduction_script_quick():
     out = run_script(REPO / "scripts" / "run_reproduction.py", "--quick",
                      timeout=400)

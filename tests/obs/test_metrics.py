@@ -42,7 +42,9 @@ def test_histogram_quantiles_interpolate_deterministically():
     # target = q * 10 inside a 10-count bucket spanning [1.0, 2.0]
     assert hist.quantile(0.5) == pytest.approx(1.5)
     assert hist.p50 == hist.quantile(0.5)
-    assert hist.quantile(1.0) == pytest.approx(2.0)
+    # The raw interpolation would report the bucket edge (2.0), but no
+    # observation ever exceeded 1.5 — tail quantiles clamp to the max.
+    assert hist.quantile(1.0) == pytest.approx(1.5)
     # Identical observation streams give identical quantiles.
     other = Histogram(bounds=(1.0, 2.0))
     for _ in range(10):
@@ -60,6 +62,52 @@ def test_histogram_quantile_edge_cases():
         hist.quantile(0.0)
     with pytest.raises(ValueError):
         Histogram(bounds=(2.0, 1.0))
+
+
+def test_extreme_quantiles_with_one_sample():
+    # S21 satellite: a single observation must report *itself* at every
+    # quantile — interpolation cannot invent values never observed.
+    hist = Histogram(bounds=(1.0, 2.0))
+    hist.observe(1.5)
+    for q in (0.001, 0.5, 0.99, 0.999, 1.0):
+        assert hist.quantile(q) == pytest.approx(1.5)
+    assert hist.p999 == pytest.approx(1.5)
+
+
+def test_extreme_quantiles_with_two_samples():
+    hist = Histogram(bounds=(1.0, 2.0, 4.0))
+    hist.observe(1.2)
+    hist.observe(3.0)
+    # Low quantiles clamp to the smaller sample, high to the larger.
+    assert hist.quantile(0.001) == pytest.approx(1.2)
+    assert hist.quantile(0.999) == pytest.approx(3.0)
+    assert hist.quantile(1.0) == pytest.approx(3.0)
+    # The median stays an in-bucket interpolation between them.
+    assert 1.2 <= hist.quantile(0.5) <= 3.0
+
+
+def test_heavy_tail_quantiles_stay_ordered_and_bounded():
+    hist = Histogram(bounds=(0.001, 0.01, 0.1, 1.0, 10.0))
+    for _ in range(997):
+        hist.observe(0.0005)
+    for value in (2.0, 5.0, 50.0):  # 50.0 overflows the top bound
+        hist.observe(value)
+    quantiles = hist.quantiles((0.5, 0.99, 0.999, 1.0))
+    assert quantiles[0.5] == pytest.approx(0.0005, abs=1e-3)
+    # p999 must see the tail but never exceed the observed max.
+    assert quantiles[0.999] > quantiles[0.99]
+    assert quantiles[0.999] <= 50.0
+    assert quantiles[1.0] == pytest.approx(50.0)
+    # Monotone in q.
+    ordered = [quantiles[q] for q in (0.5, 0.99, 0.999, 1.0)]
+    assert ordered == sorted(ordered)
+
+
+def test_registry_snapshot_includes_p999():
+    registry = MetricsRegistry()
+    registry.histogram("y.latency").observe(0.015)
+    snapshot = registry.snapshot()
+    assert snapshot["y.latency"]["p999"] == pytest.approx(0.015)
 
 
 def test_default_bounds_cover_the_cost_model():
