@@ -16,10 +16,19 @@ mean service time).  Three arms per load:
 * ``fair`` — bounded queue (shed past depth) + per-class weighted fair
   queueing, so tool/parallel jobs cannot starve the naive classes.
 
-The check asserts the headline S21 claim: at the highest load the
-no-policy arm's p99 has degraded by an order of magnitude over its
-uncongested value, while at least one admission arm keeps p99 bounded
-*and* holds goodput within 10% of its own peak across the sweep.
+Every (policy, load) cell runs under two arrival processes: ``poisson``
+(memoryless, the S21 headline) and ``burst`` (the two-state MMPP built
+in PR 6 — same mean rate, arrivals concentrated 4x during burst
+periods), so the committed trajectory shows how admission control holds
+up when load arrives in clumps rather than smoothly.
+
+The check asserts the headline S21 claim on the Poisson arms: at the
+highest load the no-policy arm's p99 has degraded by an order of
+magnitude over its uncongested value, while at least one admission arm
+keeps p99 bounded *and* holds goodput within 10% of its own peak across
+the sweep.  On the burst arms it asserts the MMPP actually bites —
+below the knee, clumped arrivals already push the unprotected p99 well
+above its Poisson twin.
 
 Also runnable as a script (the CI smoke job)::
 
@@ -46,35 +55,44 @@ ARMS = (
 SEED = 7
 DURATION = 2.0
 
+#: Arrival processes per (policy, load) cell: memoryless, and the
+#: two-state MMPP with the default 4x burst concentration (same mean).
+ARRIVAL_KINDS = ("poisson", "burst")
+
 
 def sweep(quick: bool = False):
     loads = QUICK_LOADS if quick else LOADS
     runs = {}
     for policy, spec in ARMS:
         for rate in loads:
-            kwargs = {}
-            if isinstance(spec, dict):
-                params = dict(spec)
-                kwargs["policy"] = params.pop("policy")
-                kwargs["admission_params"] = params
-            else:
-                kwargs["policy"] = spec
-            runs[(policy, rate)] = run_traffic_experiment(
-                rate=rate, duration=DURATION, seed=SEED, **kwargs
-            )
+            for kind in ARRIVAL_KINDS:
+                kwargs = {}
+                if isinstance(spec, dict):
+                    params = dict(spec)
+                    kwargs["policy"] = params.pop("policy")
+                    kwargs["admission_params"] = params
+                else:
+                    kwargs["policy"] = spec
+                runs[(policy, rate, kind)] = run_traffic_experiment(
+                    rate=rate, duration=DURATION, seed=SEED,
+                    arrival_kind=kind, **kwargs
+                )
     return runs
 
 
-def _by_policy(runs):
+def _by_policy(runs, kind="poisson"):
     table = {}
-    for (policy, rate), run in sorted(runs.items(), key=lambda kv: kv[0][1]):
-        table.setdefault(policy, []).append(run)
+    for (policy, rate, run_kind), run in sorted(
+        runs.items(), key=lambda kv: kv[0][1]
+    ):
+        if run_kind == kind:
+            table.setdefault(policy, []).append(run)
     return table
 
 
 def check(runs) -> None:
-    by_policy = _by_policy(runs)
-    loads = sorted({rate for _policy, rate in runs})
+    by_policy = _by_policy(runs, kind="poisson")
+    loads = sorted({rate for _policy, rate, _kind in runs})
     top = loads[-1]
 
     for run in runs.values():
@@ -120,15 +138,27 @@ def check(runs) -> None:
         for policy, arm_runs in by_policy.items()
     }
 
+    # The MMPP bites: below the knee, clumped arrivals already push the
+    # unprotected arm's p99 well above its Poisson twin at the same mean
+    # rate (transient queueing during burst periods).
+    burst_none = {
+        r.offered_rate: r
+        for r in _by_policy(runs, kind="burst")["none"]
+    }
+    low = loads[0]
+    poisson_low = max(none_runs[low].class_quantile("read", "p99"), 1e-4)
+    burst_low = burst_none[low].class_quantile("read", "p99")
+    assert burst_low > 1.5 * poisson_low, (poisson_low, burst_low)
+
 
 def render(runs) -> str:
     rows = []
-    for (policy, rate), run in sorted(
-        runs.items(), key=lambda kv: (kv[0][1], kv[0][0])
+    for (policy, rate, kind), run in sorted(
+        runs.items(), key=lambda kv: (kv[0][1], kv[0][2], kv[0][0])
     ):
         summary = run.summary
         rows.append([
-            rate, policy, run.offered, summary["completed"],
+            rate, kind, policy, run.offered, summary["completed"],
             summary["shed"] + summary["throttled"],
             round(run.goodput, 1),
             round(run.server_utilization, 3),
@@ -137,7 +167,7 @@ def render(runs) -> str:
             round(run.class_quantile("read", "p999") * 1e3, 1),
         ])
     return format_table(
-        ["offered r/s", "policy", "arrivals", "ok", "refused",
+        ["offered r/s", "arrivals", "policy", "n", "ok", "refused",
          "goodput r/s", "util", "read p50 ms", "p99 ms", "p999 ms"],
         rows,
         title=f"open-loop traffic, {DURATION}s of arrivals, seed {SEED}",
@@ -146,13 +176,14 @@ def render(runs) -> str:
 
 def to_json(runs) -> dict:
     trajectory = []
-    for (policy, rate), run in sorted(
-        runs.items(), key=lambda kv: (kv[0][1], kv[0][0])
+    for (policy, rate, kind), run in sorted(
+        runs.items(), key=lambda kv: (kv[0][1], kv[0][2], kv[0][0])
     ):
         summary = run.summary
         trajectory.append({
             "policy": policy,
             "offered_rate": rate,
+            "arrival_kind": kind,
             "arrivals": run.offered,
             "goodput": summary["goodput"],
             "completed": summary["completed"],
@@ -171,8 +202,9 @@ def to_json(runs) -> dict:
     return {
         "duration": DURATION,
         "seed": SEED,
-        "loads": list(sorted({rate for _p, rate in runs})),
-        "policies": sorted({policy for policy, _r in runs}),
+        "loads": list(sorted({rate for _p, rate, _k in runs})),
+        "policies": sorted({policy for policy, _r, _k in runs}),
+        "arrival_kinds": list(ARRIVAL_KINDS),
         "trajectory": trajectory,
     }
 

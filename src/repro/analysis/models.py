@@ -301,26 +301,35 @@ def naive_read_seconds_per_block(config=None, disk_latency: float = 0.015,
 
 
 def partition_load(names: Sequence[str], servers: int,
-                   requests: Optional[Dict[str, int]] = None) -> List[int]:
-    """Exact per-partition request counts under crc32 hash routing.
+                   requests: Optional[Dict[str, int]] = None,
+                   ring=None) -> List[int]:
+    """Exact per-partition request counts under the production routing.
 
     ``requests`` optionally weights each name by its request count
-    (weight 1 per name otherwise).  The hash is the production one
-    (:func:`repro.core.partitioned.partition_of`), so these counts are
-    exact, not estimates — the model part is using them to predict the
-    fabric's behavior without running it.
+    (weight 1 per name otherwise).  ``ring`` is any S22 ring object
+    (:mod:`repro.elastic.ring`); the default is the rigid fabric's
+    mod-k ring, so these counts are exact, not estimates — the model
+    part is using them to predict the fabric's behavior without
+    running it.
     """
-    from repro.core.partitioned import partition_of
+    from repro.elastic.ring import ModuloRing
 
+    if ring is None:
+        ring = ModuloRing(servers)
+    elif ring.partitions != servers:
+        raise ValueError(
+            f"ring has {ring.partitions} partitions, expected {servers}"
+        )
     loads = [0] * servers
     weights = requests or {}
     for name in names:
-        loads[partition_of(name, servers)] += weights.get(name, 1)
+        loads[ring.partition_of(name)] += weights.get(name, 1)
     return loads
 
 
 def fabric_speedup_bound(names: Sequence[str], servers: int,
-                         requests: Optional[Dict[str, int]] = None) -> float:
+                         requests: Optional[Dict[str, int]] = None,
+                         ring=None) -> float:
     """Upper bound on central-server relief from partitioning.
 
     Total server work divided by the hottest partition's share: the
@@ -329,17 +338,18 @@ def fabric_speedup_bound(names: Sequence[str], servers: int,
     Disks and the interconnect may bottleneck earlier, so measured
     speedups sit at or below this bound.
     """
-    loads = partition_load(names, servers, requests)
+    loads = partition_load(names, servers, requests, ring=ring)
     peak = max(loads) if loads else 0
     return (sum(loads) / peak) if peak else float(servers)
 
 
 def fabric_server_seconds(names: Sequence[str], servers: int,
                           per_request_seconds: float,
-                          requests: Optional[Dict[str, int]] = None) -> float:
+                          requests: Optional[Dict[str, int]] = None,
+                          ring=None) -> float:
     """Predicted server-stage critical time on a fabric: the hottest
     partition's request count times the per-request service charge."""
-    loads = partition_load(names, servers, requests)
+    loads = partition_load(names, servers, requests, ring=ring)
     return (max(loads) if loads else 0) * per_request_seconds
 
 

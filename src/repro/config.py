@@ -101,6 +101,11 @@ class CpuCosts:
     #: consult, no EFS traffic.  Cheap by design: shedding only protects
     #: the server if a reject costs far less than full service.
     bridge_fast_reject: float = 0.2 * MS
+    #: Redirecting a misrouted request during an S22 live resize: decode
+    #: the envelope, probe the forwarding table, re-send.  Only charged
+    #: inside a migration's double-read window — never with elasticity
+    #: off, so the seed event sequence is untouched.
+    bridge_forward: float = 0.3 * MS
     #: Tool worker per-record handling (format/compare/copy).
     tool_record: float = 1.0 * MS
     #: One key comparison during in-core sorting.

@@ -28,12 +28,12 @@ server rows with cross-partition fan-out edges.
 
 from __future__ import annotations
 
-import zlib
 from typing import Dict, List, Optional
 
 from repro.core.client import BridgeClient
 from repro.core.info import SystemInfo
 from repro.core.server import BridgeServer
+from repro.elastic.ring import ModuloRing
 from repro.errors import BridgeBadRequestError
 from repro.machine import Port, gather
 
@@ -41,14 +41,14 @@ from repro.machine import Port, gather
 def partition_of(name: str, partitions: int) -> int:
     """Deterministic partition index for a file name.
 
-    Stable across runs and across client instances (crc32 of the name);
-    the partition *count* is part of the deployment, so the same name
-    may land elsewhere when the fabric is resized — callers that resize
-    must recreate files (see the cache-coherence fabric tests).
+    .. deprecated:: S22
+        Routing is now a ring object (:mod:`repro.elastic.ring`); this
+        delegates to the legacy :class:`~repro.elastic.ring.ModuloRing`
+        (``crc32 mod k``, the seed map) and exists only for callers that
+        predate the ring abstraction.  Use ``fabric.partition_of`` — or
+        a ring directly — so resizes route through one source of truth.
     """
-    if partitions < 1:
-        raise ValueError("need at least one partition")
-    return zlib.crc32(name.encode()) % partitions
+    return ModuloRing(partitions).partition_of(name)
 
 
 class PartitionedBridge:
@@ -58,24 +58,58 @@ class PartitionedBridge:
     for per-name operations can accept one of these instead and resolve
     the partition with :meth:`port_for` (the tool framework and
     :class:`~repro.core.parallel.JobController` do exactly that).
+
+    Since S22 the routing map is a *ring* object (see
+    :mod:`repro.elastic.ring`): ``servers`` is the provisioned set and
+    the ring decides how many of them are active and which names they
+    own.  The default ring is the seed's mod-k map over every
+    provisioned server — byte-identical to the pre-elastic fabric — and
+    :meth:`set_ring` is the (atomic, non-yielding) seam the S22 resizer
+    flips during a live migration.
     """
 
-    def __init__(self, servers: List[BridgeServer]) -> None:
+    def __init__(self, servers: List[BridgeServer], ring=None) -> None:
         if not servers:
             raise ValueError("need at least one Bridge Server")
         self.servers = list(servers)
+        if ring is None:
+            ring = ModuloRing(len(self.servers))
+        if ring.partitions > len(self.servers):
+            raise ValueError(
+                f"ring wants {ring.partitions} partitions but only "
+                f"{len(self.servers)} servers are provisioned"
+            )
+        self.ring = ring
 
     @property
     def partitions(self) -> int:
-        return len(self.servers)
+        """Active partition count (the ring's, not the provisioned)."""
+        return self.ring.partitions
+
+    @property
+    def active_servers(self) -> List[BridgeServer]:
+        """The servers the ring currently routes to (a prefix of the
+        provisioned set: partition ids are stable server indexes)."""
+        return self.servers[: self.ring.partitions]
 
     @property
     def ports(self) -> List[Port]:
-        """Every partition's request port, in partition order."""
-        return [server.port for server in self.servers]
+        """Every active partition's request port, in partition order."""
+        return [server.port for server in self.active_servers]
+
+    def set_ring(self, ring) -> None:
+        """Swap the routing map (the S22 resize flip).  Synchronous and
+        non-yielding by design: the resizer installs its forwarding net
+        and flips in one atomic step."""
+        if ring.partitions > len(self.servers):
+            raise ValueError(
+                f"ring wants {ring.partitions} partitions but only "
+                f"{len(self.servers)} servers are provisioned"
+            )
+        self.ring = ring
 
     def partition_of(self, name: str) -> int:
-        return partition_of(name, len(self.servers))
+        return self.ring.partition_of(name)
 
     def server_for(self, name: str) -> BridgeServer:
         return self.servers[self.partition_of(name)]
@@ -84,9 +118,11 @@ class PartitionedBridge:
         return self.server_for(name).port
 
     def cache_stats(self) -> Optional[Dict[str, object]]:
-        """Aggregate S18 cache/prefetch counters across partitions
+        """Aggregate S18 cache/prefetch counters across active partitions
         (``None`` when every partition runs cache-off)."""
-        per_partition = [server.bridge_cache_stats() for server in self.servers]
+        per_partition = [
+            server.bridge_cache_stats() for server in self.active_servers
+        ]
         live = [stats for stats in per_partition if stats is not None]
         if not live:
             return None
@@ -97,12 +133,12 @@ class PartitionedBridge:
                     totals[key] = totals.get(key, 0) + value
         probes = (totals.get("hits", 0) or 0) + (totals.get("misses", 0) or 0)
         totals["hit_rate"] = (totals.get("hits", 0) / probes) if probes else 0.0
-        totals["partitions"] = len(self.servers)
+        totals["partitions"] = self.partitions
         totals["partitions_with_cache"] = len(live)
         return totals
 
     def __len__(self) -> int:
-        return len(self.servers)
+        return self.partitions
 
 
 class PartitionedClient:

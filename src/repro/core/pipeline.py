@@ -507,9 +507,16 @@ class RequestPipeline:
     def top_up(self, entry: BridgeFileEntry, name: str, frontier: int,
                depth: int) -> None:
         """S18 double buffering: start fetching the next stripe while
-        the current one is read and shipped."""
-        if self.server._prefetcher is not None:
-            self.server._prefetcher.top_up(entry, name, frontier, depth=depth)
+        the current one is read and shipped.
+
+        Skipped for names this partition migrated out (S22): a parallel
+        job still pinned here may keep reading through the shared LFS
+        set, but nothing of the departed file may be re-installed into
+        this cache — the new owner's writes would never invalidate it.
+        """
+        server = self.server
+        if server._prefetcher is not None and name not in server.migrated_out:
+            server._prefetcher.top_up(entry, name, frontier, depth=depth)
 
     def detach(self, generator) -> Detached:
         """Hand the transfer half of an op to a side process so the

@@ -104,6 +104,15 @@ class BridgeServer(Server):
         # fair queueing).  None — the seed default — admits everything
         # with zero extra branches on the hot path.
         self.admission = None
+        # S22 live migration: routing cost of a forwarded request, the
+        # methods the base loop must never redirect (the migration RPCs
+        # themselves carry ``name`` but must execute where addressed),
+        # and the names this partition has migrated *out* — consulted by
+        # the prefetcher seam so a still-pinned parallel job cannot
+        # re-install blocks of a departed file into this cache.
+        self._forward_cost = config.cpu.bridge_forward
+        self._forward_exempt = frozenset({"migrate_in", "migrate_out"})
+        self.migrated_out: set = set()
 
     def install_admission(self, control) -> None:
         """Attach an S21 admission control to this server instance.
@@ -184,6 +193,7 @@ class BridgeServer(Server):
         self._cursors[name] = 0
         # Name reuse after delete: nothing cached may survive.
         self.pipeline.evict_file(name)
+        self.migrated_out.discard(name)
         return file_id
 
     def op_delete(self, name):
@@ -266,6 +276,73 @@ class BridgeServer(Server):
         """The tool bootstrap package (Table 1: Get Info -> LFS handles)."""
         yield from self.pipeline.admit()
         return SystemInfo(lfs=list(self.lfs), server_port=self.port)
+
+    # ==================================================================
+    # S22 live migration (the elastic fabric's entry-move protocol)
+    # ==================================================================
+
+    def op_migrate_out(self, name, forward_to=None):
+        """Release ``name`` to the partition now owning it.
+
+        Called *by the destination server* (nested inside its
+        ``migrate_in``).  Removes the directory entry, cursor, and disk
+        hints; bumps the S18 cache generation for the name (evicting
+        every cached block and invalidating any in-flight install); and
+        leaves a forwarding entry to ``forward_to`` so requests routed
+        by the old ring chase the entry to its new home.  Block data
+        never moves — every partition serves the same LFS set, so the
+        namespace entry *is* the file's location.  Returns ``None`` when
+        the entry vanished (deleted mid-sweep): the destination then
+        simply retires its redirect.
+        """
+        yield from self.pipeline.admit(probe=True)
+        if not self.directory.exists(name):
+            return None
+        entry = self.directory.remove(name)
+        cursor = self._cursors.pop(name, None)
+        for slot in range(entry.width):
+            self._hints.pop((name, slot), None)
+        self.pipeline.evict_file(name)
+        self.migrated_out.add(name)
+        if forward_to is not None:
+            self.forward_to[name] = forward_to
+        yield from self.pipeline.commit()
+        return {"entry": entry, "cursor": cursor}
+
+    def op_migrate_in(self, name, src_port):
+        """Pull ``name``'s namespace entry from its old partition.
+
+        The destination drives the pull itself so there is no window
+        where both sides forward to each other: its redirect for
+        ``name`` stays up until the entry has landed, and because the
+        server is one simulated process, any request that queued behind
+        this handler dispatches only after the insert below.  The entry
+        object moves by reference, so a parallel job still pinned to the
+        source keeps operating on the same (shared-LFS) file state.
+        Returns True if the entry moved, False if it had vanished.
+        """
+        # Plain admit: the probe happens at the source (which consults
+        # its directory); this side's insert is covered by commit().
+        yield from self.pipeline.admit()
+        states = yield from self.pipeline.fanout(
+            [(src_port, "migrate_out",
+              {"name": name, "forward_to": self.port}, 0)]
+        )
+        state = states[0]
+        self.forward_to.pop(name, None)
+        if state is None:
+            yield from self.pipeline.commit()
+            return False
+        self.directory.insert(state["entry"])
+        if state["cursor"] is not None:
+            self._cursors[name] = state["cursor"]
+        # Defensive coherence: nothing cached locally may survive an
+        # ownership change (a prior residency, or a prior migration of a
+        # since-recreated name).
+        self.pipeline.evict_file(name)
+        self.migrated_out.discard(name)
+        yield from self.pipeline.commit()
+        return True
 
     # ==================================================================
     # Naive view: sequential and random block access

@@ -1,0 +1,44 @@
+"""S22: the elastic fabric — consistent-hash routing + live migration.
+
+Makes the S20 partitioned fabric resizable online.  Three layers:
+
+* :mod:`repro.elastic.ring` — pluggable name-routing rings: the seed's
+  mod-k map (:class:`ModuloRing`, byte-identical routing with
+  elasticity off) and a seeded consistent-hash ring
+  (:class:`ConsistentHashRing`) whose resizes touch only the
+  reassigned arcs.
+* :mod:`repro.elastic.plan` — :func:`plan_resize` diffs old->new rings
+  over the live namespace into a minimal move set and asserts the
+  minimal-disruption property.
+* :mod:`repro.elastic.migrate` — :class:`FabricResizer` executes a plan
+  against a running system: atomic ring flip under a forwarding net,
+  throttled per-name entry moves with generation-bumped cache
+  invalidation, and a double-read window so in-flight requests routed
+  by the old ring are redirected, never failed.
+
+Entry point for experiments: ``BridgeSystem(..., elastic=N)`` then
+``system.resize_fabric(new_count)`` (see :mod:`repro.harness.builders`).
+"""
+
+from repro.elastic.migrate import FabricResizer, MigrationReport
+from repro.elastic.plan import MigrationPlan, Move, plan_resize
+from repro.elastic.ring import (
+    RING_KINDS,
+    ConsistentHashRing,
+    ModuloRing,
+    hash64,
+    make_ring,
+)
+
+__all__ = [
+    "ConsistentHashRing",
+    "FabricResizer",
+    "MigrationPlan",
+    "MigrationReport",
+    "ModuloRing",
+    "Move",
+    "RING_KINDS",
+    "hash64",
+    "make_ring",
+    "plan_resize",
+]

@@ -1,0 +1,89 @@
+"""S22: the resize planner.
+
+Diffs an old ring against a new one over a concrete namespace and emits
+the *move set* — exactly the names whose owner changes, each as a
+``(name, src, dst)`` :class:`Move`.  For same-seed consistent rings the
+planner also asserts the minimal-disruption property before returning:
+a grow may only move names *to* the added partitions and a shrink may
+only move names *from* the removed ones.  Any other move means the
+shared partitions' vnode points shifted — a routing bug that would
+silently strand files — so the planner refuses to hand such a plan to
+the migrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class Move:
+    """One planned namespace-entry move: ``name`` from partition ``src``
+    to partition ``dst``."""
+
+    name: str
+    src: int
+    dst: int
+
+
+@dataclass
+class MigrationPlan:
+    """The full diff of one resize."""
+
+    old_partitions: int
+    new_partitions: int
+    moves: List[Move] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def disruption(self) -> float:
+        """Fraction of the namespace that moves."""
+        total = len(self.moves) + self.unchanged
+        return len(self.moves) / total if total else 0.0
+
+
+def plan_resize(old_ring, new_ring, names: Iterable[str]) -> MigrationPlan:
+    """Diff ``old_ring`` -> ``new_ring`` over ``names``.
+
+    Names are visited in sorted order so the plan — and therefore the
+    migration sweep's event sequence — is deterministic regardless of
+    how the caller collected the namespace.
+    """
+    plan = MigrationPlan(old_ring.partitions, new_ring.partitions)
+    for name in sorted(names):
+        src = old_ring.partition_of(name)
+        dst = new_ring.partition_of(name)
+        if src == dst:
+            plan.unchanged += 1
+        else:
+            plan.moves.append(Move(name, src, dst))
+    _assert_minimal_disruption(old_ring, new_ring, plan)
+    return plan
+
+
+def _assert_minimal_disruption(old_ring, new_ring,
+                               plan: MigrationPlan) -> None:
+    """Consistent rings sharing a seed may only move names on the
+    reassigned arcs; violations are wiring bugs, not workloads."""
+    if (getattr(old_ring, "kind", None) != "consistent"
+            or getattr(new_ring, "kind", None) != "consistent"
+            or old_ring.seed != new_ring.seed
+            or old_ring.vnodes != new_ring.vnodes):
+        return
+    old_k, new_k = old_ring.partitions, new_ring.partitions
+    if new_k > old_k:
+        bad = [move for move in plan.moves if move.dst < old_k]
+        what = f"grow {old_k}->{new_k} moved names to retained partitions"
+    elif new_k < old_k:
+        bad = [move for move in plan.moves if move.src < new_k]
+        what = f"shrink {old_k}->{new_k} moved names from retained partitions"
+    else:
+        bad = plan.moves
+        what = f"same-size plan {old_k}->{new_k} moved names"
+    if bad:
+        sample = ", ".join(f"{m.name}:{m.src}->{m.dst}" for m in bad[:4])
+        raise AssertionError(
+            f"minimal-disruption violated: {what} ({len(bad)} moves, "
+            f"e.g. {sample})"
+        )

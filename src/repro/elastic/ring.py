@@ -1,0 +1,136 @@
+"""S22: name-routing rings for the partitioned fabric.
+
+The S20 fabric froze its partition count into ``crc32(name) mod k``:
+changing ``k`` remaps almost every name, so the fabric could never grow
+or shrink without stranding the namespace.  This module makes the
+routing map a first-class object with two registered implementations:
+
+* :class:`ModuloRing` — the seed's ``crc32 mod k`` map, kept verbatim so
+  an elastic-off system routes (and traces) byte-identically to the
+  committed acceptance baseline.
+* :class:`ConsistentHashRing` — a seeded consistent-hash ring with
+  deterministic virtual nodes.  Each partition owns ``vnodes`` points on
+  a 64-bit circle; a name belongs to the partition owning the first
+  point at or after its hash.  Because partition ``i``'s points depend
+  only on ``(seed, i)``, growing from ``k`` to ``n`` adds points owned
+  exclusively by partitions ``k..n-1`` and shrinking removes exactly
+  those — so the set of names whose owner changes is minimal (the
+  reassigned arcs and nothing else), the property
+  :func:`repro.elastic.plan.plan_resize` asserts.
+
+Both rings expose the same duck type — ``partitions``,
+``partition_of(name)``, ``with_partitions(n)`` — which is all
+:class:`~repro.core.partitioned.PartitionedBridge` needs.  Rings are
+pure routing tables: deterministic, stateless, safe to rebuild from
+``(kind, partitions, seed)`` on any client.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from bisect import bisect_right
+from typing import Callable, Dict, List, Tuple
+
+
+def hash64(key: str) -> int:
+    """Stable 64-bit hash of a string (blake2b, seed-independent)."""
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ModuloRing:
+    """The legacy mod-k map: ``crc32(name) % partitions``.
+
+    This is the seed's routing function verbatim (one source of truth —
+    the deprecated module-level ``partition_of`` in
+    :mod:`repro.core.partitioned` now delegates here).  Resizing a
+    modulo ring remaps ~``(k-1)/k`` of all names, which is exactly why
+    the consistent ring exists; it still supports ``with_partitions`` so
+    the planner can quantify that disruption.
+    """
+
+    kind = "modulo"
+
+    __slots__ = ("partitions", "seed")
+
+    def __init__(self, partitions: int, seed: int = 0) -> None:
+        if partitions < 1:
+            raise ValueError("need at least one partition")
+        self.partitions = partitions
+        self.seed = seed  # unused; kept for duck-type parity
+
+    def partition_of(self, name: str) -> int:
+        return zlib.crc32(name.encode()) % self.partitions
+
+    def with_partitions(self, partitions: int) -> "ModuloRing":
+        return ModuloRing(partitions, seed=self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ModuloRing(partitions={self.partitions})"
+
+
+class ConsistentHashRing:
+    """Seeded consistent hashing with deterministic virtual nodes.
+
+    Partition ``i`` owns the points ``hash64(f"{seed}/vnode/{i}/{v}")``
+    for ``v`` in ``range(vnodes)``; names hash in a separate domain
+    (``"name/..."``) so a vnode label can never collide with a file
+    name.  Lookup is a binary search over the sorted points with
+    wraparound.  Same ``(partitions, seed, vnodes)`` -> same table, on
+    every client, in every run.
+    """
+
+    kind = "consistent"
+
+    __slots__ = ("partitions", "seed", "vnodes", "_points", "_owners")
+
+    def __init__(self, partitions: int, seed: int = 0, vnodes: int = 64) -> None:
+        if partitions < 1:
+            raise ValueError("need at least one partition")
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per partition")
+        self.partitions = partitions
+        self.seed = seed
+        self.vnodes = vnodes
+        table: List[Tuple[int, int]] = []
+        for partition in range(partitions):
+            for vnode in range(vnodes):
+                point = hash64(f"{seed}/vnode/{partition}/{vnode}")
+                table.append((point, partition))
+        table.sort()
+        self._points = [point for point, _owner in table]
+        self._owners = [owner for _point, owner in table]
+
+    def partition_of(self, name: str) -> int:
+        index = bisect_right(self._points, hash64(f"name/{name}"))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def with_partitions(self, partitions: int) -> "ConsistentHashRing":
+        """The same ring at a different size (same seed and vnode count,
+        so shared partitions keep their exact points)."""
+        return ConsistentHashRing(partitions, seed=self.seed,
+                                  vnodes=self.vnodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ConsistentHashRing(partitions={self.partitions}, "
+                f"seed={self.seed}, vnodes={self.vnodes})")
+
+
+#: Registered ring kinds, by name (``make_ring`` spec strings).
+RING_KINDS: Dict[str, Callable[..., object]] = {
+    ModuloRing.kind: ModuloRing,
+    ConsistentHashRing.kind: ConsistentHashRing,
+}
+
+
+def make_ring(kind: str, partitions: int, **kwargs):
+    """Build a registered ring: ``make_ring("consistent", 4, seed=7)``."""
+    factory = RING_KINDS.get(kind)
+    if factory is None:
+        raise ValueError(
+            f"unknown ring kind {kind!r} (have {sorted(RING_KINDS)})"
+        )
+    return factory(partitions, **kwargs)

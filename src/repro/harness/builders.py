@@ -52,11 +52,29 @@ class BridgeSystem:
         obs=False,
         trace_export: Optional[str] = None,
         admission=None,
+        elastic=None,
     ) -> None:
         if lfs_count < 1:
             raise ValueError("a Bridge system needs at least one LFS node")
         if bridge_server_count < 1:
             raise ValueError("need at least one Bridge Server")
+        # S22: ``elastic`` makes the fabric resizable online.  ``None``
+        # (the default) is the rigid seed fabric — mod-k routing, no
+        # extra nodes, byte-identical event sequence.  ``True`` routes
+        # by consistent hash over ``bridge_server_count`` partitions
+        # (shrinkable/regrowable in place); an int additionally
+        # *provisions* that many server nodes up front so the fabric can
+        # grow past its starting count (idle provisioned servers cost
+        # nothing in the event sequence until the ring routes to them).
+        self.elastic = elastic not in (None, False)
+        provisioned = bridge_server_count
+        if self.elastic and elastic is not True:
+            provisioned = int(elastic)
+            if provisioned < bridge_server_count:
+                raise ValueError(
+                    f"elastic={provisioned} provisions fewer servers than "
+                    f"bridge_server_count={bridge_server_count}"
+                )
         self.config = config or DEFAULT_CONFIG
         # S18 knobs: override the config without forcing callers to build
         # a SystemConfig by hand.  Defaults (None) leave the config as-is,
@@ -86,19 +104,19 @@ class BridgeSystem:
         # (e.g. ``EthernetNetwork`` itself, whose bus process needs the sim).
         if callable(network):
             network = network(self.sim)
-        # p LFS nodes + k server nodes + 1 client node
+        # p LFS nodes + k server nodes (provisioned) + 1 client node
         self.machine = Machine(
             self.sim,
-            lfs_count + bridge_server_count + 1,
+            lfs_count + provisioned + 1,
             config=self.config,
             network=network,
         )
         self.lfs_nodes = [self.machine.node(i) for i in range(lfs_count)]
         self.server_nodes = [
-            self.machine.node(lfs_count + i) for i in range(bridge_server_count)
+            self.machine.node(lfs_count + i) for i in range(provisioned)
         ]
         self.server_node = self.server_nodes[0]
-        self.client_node = self.machine.node(lfs_count + bridge_server_count)
+        self.client_node = self.machine.node(lfs_count + provisioned)
 
         self.disks: List[SimulatedDisk] = []
         self.efs_servers: List[EFSServer] = []
@@ -132,8 +150,15 @@ class BridgeSystem:
         # S20: the partitioned fabric router.  Every surface (naive
         # clients, job controllers, tools, redundancy wrappers) accepts
         # it in place of a single server port; with one server it simply
-        # routes everything to that server.
-        self.fabric = PartitionedBridge(self.bridges)
+        # routes everything to that server.  Elastic systems route by a
+        # seeded consistent-hash ring over the *active* count instead of
+        # the seed's mod-k map, so resizes move only the reassigned arcs.
+        ring = None
+        if self.elastic:
+            from repro.elastic.ring import ConsistentHashRing
+
+            ring = ConsistentHashRing(bridge_server_count, seed=seed)
+        self.fabric = PartitionedBridge(self.bridges, ring=ring)
 
         # Redundancy scheme knob (S16): every experiment can run the same
         # workload unprotected, mirrored (2x), or parity-protected
@@ -206,8 +231,10 @@ class BridgeSystem:
         On a multi-server fabric this returns the partition-routed
         client (the full ``BridgeClient`` surface, routed by name), so
         every naive-view consumer — including the S16 redundancy
-        wrappers — works unchanged at ``bridge_server_count > 1``."""
-        if len(self.bridges) > 1:
+        wrappers — works unchanged at ``bridge_server_count > 1``.
+        Elastic systems always route through the fabric (the owner of a
+        name can change under a live resize)."""
+        if len(self.bridges) > 1 or self.elastic:
             return self.partitioned_client(node)
         return BridgeClient(node or self.client_node, self.bridge.port)
 
@@ -223,8 +250,32 @@ class BridgeSystem:
     def server_target(self):
         """What to hand anything that takes a ``server_port``: the single
         server's port, or the fabric router at bridge_server_count > 1
-        (tools and job controllers resolve partitions per name)."""
-        return self.fabric if len(self.bridges) > 1 else self.bridge.port
+        (tools and job controllers resolve partitions per name).
+        Elastic systems always hand out the fabric."""
+        if len(self.bridges) > 1 or self.elastic:
+            return self.fabric
+        return self.bridge.port
+
+    def resize_fabric(self, new_count: int,
+                      moves_per_second: Optional[float] = None,
+                      forward_window: Optional[float] = 0.25):
+        """Generator: resize the fabric to ``new_count`` active
+        partitions while it serves traffic (S22).
+
+        Drive it inside the running simulation — spawned next to a
+        workload (``system.client_node.spawn(system.resize_fabric(4))``)
+        or as its own driver (``system.run(system.resize_fabric(4))``).
+        ``moves_per_second`` throttles the migration sweep;
+        ``forward_window`` is how long old-route redirects stay up after
+        the sweep.  Returns a
+        :class:`~repro.elastic.migrate.MigrationReport`.
+        """
+        from repro.elastic.migrate import FabricResizer
+
+        resizer = FabricResizer(self, moves_per_second=moves_per_second,
+                                forward_window=forward_window)
+        report = yield from resizer.resize(new_count)
+        return report
 
     def redundant_file(self, name: str):
         """A file wrapper under this system's redundancy scheme: a

@@ -945,3 +945,156 @@ def run_traffic_experiment(
         makespan=makespan,
         events=system.sim.events_executed,
     )
+
+
+# ---------------------------------------------------------------------------
+# S22: resize-under-load (elastic fabric)
+# ---------------------------------------------------------------------------
+
+
+def run_elastic_experiment(
+    rate: float = 60.0,
+    duration: float = 2.0,
+    start_servers: int = 2,
+    end_servers: int = 4,
+    provisioned: Optional[int] = None,
+    p: int = 4,
+    seed: int = 0,
+    files: int = 24,
+    blocks: int = 12,
+    mix: Optional[Dict[str, float]] = None,
+    skew: float = 1.1,
+    moves_per_second: Optional[float] = None,
+    forward_window: Optional[float] = 0.25,
+    policy: str = "none",
+    admission_params: Optional[Dict[str, object]] = None,
+    obs: bool = False,
+):
+    """One resize-under-load run: steady / resize-under-traffic / steady.
+
+    Three equal arrival windows drive the same catalog with independent
+    SLO recorders; the fabric resize (grow or shrink, by consistent-hash
+    ring + live migration) is spawned at the start of the middle window,
+    so its summary *is* the during-migration latency distribution.
+    After the final window quiesces, the safety oracle runs: directory
+    ownership is scanned against the live ring (lost / misrouted /
+    duplicated counts), EFS fsck checks every LFS, and every catalog
+    file is read back twice — once routed through the fabric, once
+    reconstructed directly from the LFS blocks via each constituent's
+    entry — and byte-compared.  Returns an
+    :class:`~repro.harness.results.ElasticRun`.
+    """
+    from repro.efs.fsck import check_system
+    from repro.harness.results import ElasticRun
+    from repro.storage import FixedLatency
+    from repro.traffic import RequestMix, SLORecorder, TrafficGenerator
+
+    if provisioned is None:
+        provisioned = max(start_servers, end_servers)
+    system = BridgeSystem(
+        p, seed=seed, disk_latency=FixedLatency(0.0005),
+        bridge_server_count=start_servers, elastic=provisioned, obs=obs,
+    )
+    catalog = build_traffic_catalog(system, files, blocks, skew=skew)
+    if policy not in (None, "none"):
+        spec = {"policy": policy, **(admission_params or {})}
+        system.install_admission(spec)
+
+    registry = system.obs.metrics if system.obs is not None else None
+    request_mix = RequestMix(mix) if mix is not None else None
+    report_box: Dict[str, object] = {}
+
+    def run_phase(label, with_resize=False):
+        recorder = SLORecorder(registry=registry)
+        generator = TrafficGenerator(
+            system, catalog, mix=request_mix, recorder=recorder,
+        )
+
+        def driver():
+            if with_resize:
+                def resize():
+                    report = yield from system.resize_fabric(
+                        end_servers, moves_per_second=moves_per_second,
+                        forward_window=forward_window,
+                    )
+                    report_box["report"] = report
+
+                system.client_node.spawn(resize(), name="elastic.resize")
+            result = yield from generator.open_loop(rate, duration)
+            return result
+
+        start = system.sim.now
+        system.run(driver(), name=f"traffic-{label}")
+        return recorder.summary(system.sim.now - start)
+
+    phases = {
+        "before": run_phase("before"),
+        "during": run_phase("during", with_resize=True),
+        "after": run_phase("after"),
+    }
+    report = report_box["report"]
+
+    # ---- safety oracle (quiesced) ------------------------------------
+    fabric = system.fabric
+    names = list(catalog.names)
+    locations: Dict[str, List[int]] = {}
+    for index, bridge in enumerate(system.bridges):
+        for name in bridge.directory.names():
+            locations.setdefault(name, []).append(index)
+    lost = sum(1 for name in names if name not in locations)
+    duplicated = sum(1 for spots in locations.values() if len(spots) > 1)
+    misrouted = sum(
+        1 for name, spots in locations.items()
+        if len(spots) == 1 and spots[0] != fabric.partition_of(name)
+    )
+    fsck_clean = all(r.clean for r in check_system(system))
+
+    def readback():
+        client = system.partitioned_client()
+        efs = [system.efs_client(slot, node=system.client_node)
+               for slot in range(system.width)]
+        mismatched = 0
+        for name in names:
+            owner = fabric.server_for(name)
+            if not owner.directory.exists(name):
+                continue  # counted above as lost/misrouted
+            entry = owner.directory.lookup(name)
+            routed = yield from client.read_all(name)
+            direct = []
+            for block in range(entry.total_blocks):
+                slot, local = entry.locate_block(block)
+                result = yield from efs[entry.node_indexes[slot]].read(
+                    entry.efs_file_numbers[slot], local
+                )
+                direct.append(result.data)
+            if routed != direct:
+                mismatched += 1
+        return mismatched
+
+    content_mismatched = system.run(readback(), name="elastic-verify")
+
+    return ElasticRun(
+        direction=report.direction,
+        p=p,
+        start_servers=start_servers,
+        end_servers=end_servers,
+        provisioned=provisioned,
+        offered_rate=rate,
+        phase_duration=duration,
+        files=files,
+        planned=report.planned,
+        moved=report.moved,
+        vanished=report.vanished,
+        forwarded=report.forwarded,
+        disruption=report.plan.disruption,
+        migration_seconds=report.duration,
+        moves_per_second=moves_per_second,
+        phases=phases,
+        lost=lost,
+        misrouted=misrouted,
+        duplicated=duplicated,
+        content_mismatched=content_mismatched,
+        fsck_clean=fsck_clean,
+        makespan=system.sim.now,
+        events=system.sim.events_executed,
+    )

@@ -361,3 +361,55 @@ class TrafficRun:
     def class_quantile(self, cls: str, which: str) -> float:
         """Per-class latency quantile ("p50"/"p99"/"p999") from the dump."""
         return float(self.summary["classes"][cls][which])
+
+
+@dataclass
+class ElasticRun:
+    """One S22 resize-under-load run (grow or shrink, traffic running).
+
+    ``phases`` maps ``"before"`` / ``"during"`` / ``"after"`` to the
+    per-phase :class:`~repro.traffic.SLORecorder` summary — the
+    p99-during-migration vs steady-state comparison reads straight out
+    of it.  The three ``lost`` / ``misrouted`` / ``content_mismatched``
+    counts are the post-resize safety oracle: directory ownership
+    scanned against the live ring, EFS fsck, and a byte-compare of every
+    surviving file read through the fabric vs reconstructed directly
+    from the LFS blocks.
+    """
+
+    direction: str  # "grow" | "shrink"
+    p: int
+    start_servers: int
+    end_servers: int
+    provisioned: int
+    offered_rate: float
+    phase_duration: float  # arrival window per phase, simulated seconds
+    files: int
+    planned: int  # moves in the resize plan
+    moved: int
+    vanished: int
+    forwarded: int  # requests redirected by the double-read window
+    disruption: float  # planned moves / namespace size
+    migration_seconds: float  # ring flip -> window retired
+    moves_per_second: Optional[float]
+    phases: Dict[str, Dict[str, object]]  # phase -> SLO summary
+    lost: int  # catalog names in no partition directory
+    misrouted: int  # names owned by a partition the ring disagrees with
+    duplicated: int  # names present in more than one directory
+    content_mismatched: int  # routed read-back != direct LFS reconstruction
+    fsck_clean: bool
+    makespan: float
+    events: int
+
+    @property
+    def files_intact(self) -> bool:
+        return (self.lost == 0 and self.misrouted == 0
+                and self.duplicated == 0 and self.content_mismatched == 0)
+
+    def phase_quantile(self, phase: str, cls: str, which: str) -> float:
+        """Per-phase per-class latency quantile from the SLO dump."""
+        return float(self.phases[phase]["classes"][cls][which])
+
+    def failed(self) -> int:
+        """Hard failures summed across all three phases."""
+        return sum(int(summary["failed"]) for summary in self.phases.values())

@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional
 
 from repro.machine.node import Node, Port
 from repro.obs.spans import SpanContext
+from repro.sim import Timeout
 
 
 @dataclass
@@ -107,6 +108,17 @@ class Server:
         # stage reads this to classify and count without re-plumbing the
         # envelope through every handler signature.
         self._active_request: Optional[Request] = None
+        # S22 live migration: per-name redirects installed by the elastic
+        # resizer.  A request whose ``name`` argument maps here is
+        # re-sent to the mapped port (original envelope, original
+        # ``reply_to``) instead of dispatched — the double-read
+        # forwarding window that keeps in-flight requests correct while
+        # an entry is between partitions.  Empty dict = seed hot path
+        # (one falsy check per request).
+        self.forward_to: Dict[str, Port] = {}
+        self.forwarded = 0
+        self._forward_cost = 0.0  # subclasses charge their routing CPU
+        self._forward_exempt: frozenset = frozenset()
         self.process = node.spawn(self._loop(), name=name, daemon=True)
 
     # ------------------------------------------------------------------
@@ -139,6 +151,11 @@ class Server:
         sim = self.node.machine.sim
         while True:
             request = yield from self._next_request()
+            if self.forward_to and request.method not in self._forward_exempt:
+                target = self.forward_to.get(request.args.get("name"))
+                if target is not None:
+                    yield from self._forward(sim, request, target)
+                    continue
             self._active_request = request
             started = sim.now
             obs = sim.obs
@@ -182,6 +199,29 @@ class Server:
                 self.node.send(request.reply_to, response, size=response.size)
             if obs is not None:
                 obs.set_current(None)
+
+    def _forward(self, sim, request: Request, target: Port):
+        """Redirect a misrouted request (S22 double-read window): charge
+        the routing CPU and re-send the original envelope — same args,
+        same ``reply_to``, same trace context — to the entry's current
+        home.  The reply flows straight from there to the caller."""
+        obs = sim.obs
+        span = None
+        if obs is not None:
+            ctx = request.trace_ctx
+            span = obs.begin(
+                f"{self.name}.forward", "server",
+                parent=ctx.span if ctx is not None else None,
+                inherit=False, node=self.node.index,
+            )
+        if self._forward_cost > 0.0:
+            yield Timeout(self._forward_cost)
+            self.busy_time += self._forward_cost
+        self.forwarded += 1
+        self.requests_served += 1
+        if obs is not None:
+            obs.end(span, method=request.method, target=target.name)
+        self.node.send(target, request, size=request.size)
 
     # -- S19 per-request instrumentation -------------------------------
 

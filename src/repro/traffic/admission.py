@@ -53,9 +53,12 @@ _METHOD_CLASSES: Dict[str, str] = {
 #: state, refusing its reads/writes/close would leak that state (the
 #: ``_jobs`` entry survives until ``parallel_close``), so continuation
 #: methods bypass the bucket and can never be shed — the bounded queue
-#: admits them even past its depth threshold.
+#: admits them even past its depth threshold.  The S22 migration RPCs
+#: are control-plane for the same reason: refusing a ``migrate_in``
+#: mid-sweep would strand a forwarding entry with no mover behind it.
 CONTINUATION_METHODS = frozenset(
-    {"parallel_read", "parallel_write", "parallel_close"}
+    {"parallel_read", "parallel_write", "parallel_close",
+     "migrate_in", "migrate_out"}
 )
 
 #: Default fair-queueing weights: naive interactive classes outweigh

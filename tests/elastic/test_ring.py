@@ -1,0 +1,180 @@
+"""S22 ring invariants: uniformity, minimal disruption, determinism.
+
+These are the properties the migration subsystem leans on without
+re-checking at runtime: a consistent ring spreads load evenly enough
+that resizing is worth it, a same-seed resize moves exactly the
+reassigned arcs (the planner's move set, nothing more), and the whole
+table is a pure function of ``(kind, partitions, seed, vnodes)`` so
+every client in every run routes identically.
+"""
+
+import zlib
+
+import pytest
+
+from repro.core.partitioned import partition_of
+from repro.elastic.plan import plan_resize
+from repro.elastic.ring import (
+    RING_KINDS,
+    ConsistentHashRing,
+    ModuloRing,
+    hash64,
+    make_ring,
+)
+
+NAMES = [f"file-{i:05d}" for i in range(2000)]
+
+
+def loads_for(ring, names=NAMES):
+    loads = [0] * ring.partitions
+    for name in names:
+        loads[ring.partition_of(name)] += 1
+    return loads
+
+
+# ---------------------------------------------------------------------------
+# Load uniformity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("partitions", range(1, 9))
+def test_consistent_ring_load_uniformity(partitions):
+    """Chi-square-ish bound: over 2000 names every partition's share
+    stays within [0.5, 1.6]x the fair share at 64 vnodes — measured
+    spread across 1-8 partitions is 0.69-1.23x, so these bounds catch a
+    broken hash (which collapses to one arc) without flaking on the
+    real variance of a 64-vnode ring."""
+    ring = ConsistentHashRing(partitions, seed=0)
+    loads = loads_for(ring)
+    fair = len(NAMES) / partitions
+    assert sum(loads) == len(NAMES)
+    for partition, load in enumerate(loads):
+        assert 0.5 * fair <= load <= 1.6 * fair, (partition, load, fair)
+
+
+def test_vnodes_tighten_the_spread():
+    """More virtual nodes -> flatter ring: the max/fair ratio at 512
+    vnodes must beat the ratio at 8 vnodes."""
+    coarse = ConsistentHashRing(4, seed=0, vnodes=8)
+    fine = ConsistentHashRing(4, seed=0, vnodes=512)
+    fair = len(NAMES) / 4
+    assert max(loads_for(fine)) / fair < max(loads_for(coarse)) / fair
+
+
+# ---------------------------------------------------------------------------
+# Minimal disruption
+# ---------------------------------------------------------------------------
+
+
+def moved_names(old_ring, new_ring):
+    return {
+        name for name in NAMES
+        if old_ring.partition_of(name) != new_ring.partition_of(name)
+    }
+
+
+@pytest.mark.parametrize("old_k,new_k", [(2, 4), (4, 2), (3, 8), (8, 3)])
+def test_minimal_disruption_matches_planner_move_set(old_k, new_k):
+    """The set of names whose owner changes is exactly the planner's
+    move set, and every move touches an added/removed partition: a grow
+    only moves names *to* partitions >= old_k, a shrink only *from*
+    partitions >= new_k."""
+    old_ring = ConsistentHashRing(old_k, seed=3)
+    new_ring = old_ring.with_partitions(new_k)
+    plan = plan_resize(old_ring, new_ring, NAMES)
+    assert {m.name for m in plan.moves} == moved_names(old_ring, new_ring)
+    assert len(plan.moves) + plan.unchanged == len(NAMES)
+    for move in plan.moves:
+        if new_k > old_k:
+            assert move.dst >= old_k, move
+        else:
+            assert move.src >= new_k, move
+
+
+def test_disruption_fraction_tracks_the_reassigned_share():
+    """Growing k -> k+1 reassigns about 1/(k+1) of the circle; the
+    modulo ring by contrast remaps ~4/5 of the namespace (names keep
+    their owner only when ``crc32 % 4 == crc32 % 5``)."""
+    old_ring = ConsistentHashRing(4, seed=0)
+    plan = plan_resize(old_ring, old_ring.with_partitions(5), NAMES)
+    assert 0.1 <= plan.disruption <= 0.35  # ideal 0.2
+    modulo = plan_resize(ModuloRing(4), ModuloRing(5), NAMES)
+    assert modulo.disruption > 2 * plan.disruption
+
+
+def test_planner_refuses_a_ring_that_shifts_retained_arcs():
+    """If a grown ring hands any arc of a retained partition to a
+    different retained partition (a vnode-stability bug), names would
+    move *between* survivors and the sweep could strand files — the
+    planner must refuse such a plan, not pass it to the migrator."""
+    old_ring = ConsistentHashRing(2, seed=0)
+    bad = old_ring.with_partitions(4)
+    # Corrupt the table: collapse the added partitions' points back onto
+    # the retained ones, so "moved" names land on partitions < old_k.
+    bad._owners = [owner % 2 for owner in bad._owners]
+    with pytest.raises(AssertionError, match="minimal-disruption"):
+        plan_resize(old_ring, bad, NAMES)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+def test_same_seed_same_table():
+    a = ConsistentHashRing(5, seed=11)
+    b = ConsistentHashRing(5, seed=11)
+    assert [a.partition_of(n) for n in NAMES] == \
+        [b.partition_of(n) for n in NAMES]
+
+
+def test_different_seed_different_table():
+    a = ConsistentHashRing(5, seed=11)
+    b = ConsistentHashRing(5, seed=12)
+    assert [a.partition_of(n) for n in NAMES] != \
+        [b.partition_of(n) for n in NAMES]
+
+
+def test_hash64_is_stable():
+    # Frozen values: a silent hash change would remap every elastic
+    # namespace on disk-format-equivalent grounds.
+    assert hash64("name/file-00000") == 0x379147CB33B99303
+
+
+def test_plan_is_deterministic_and_sorted():
+    old_ring = ConsistentHashRing(2, seed=7)
+    new_ring = old_ring.with_partitions(4)
+    a = plan_resize(old_ring, new_ring, reversed(NAMES))
+    b = plan_resize(old_ring, new_ring, set(NAMES))
+    assert a.moves == b.moves
+    assert [m.name for m in a.moves] == sorted(m.name for m in a.moves)
+
+
+# ---------------------------------------------------------------------------
+# The legacy ring and the registry
+# ---------------------------------------------------------------------------
+
+
+def test_modulo_ring_is_the_seed_map():
+    """ModuloRing == crc32 mod k == the deprecated module-level shim —
+    one source of truth, byte-identical to the committed baseline."""
+    ring = ModuloRing(3)
+    for name in NAMES[:64]:
+        want = zlib.crc32(name.encode()) % 3
+        assert ring.partition_of(name) == want
+        assert partition_of(name, 3) == want
+
+
+def test_ring_registry():
+    assert set(RING_KINDS) == {"modulo", "consistent"}
+    assert isinstance(make_ring("modulo", 3), ModuloRing)
+    ring = make_ring("consistent", 4, seed=9, vnodes=16)
+    assert (ring.partitions, ring.seed, ring.vnodes) == (4, 9, 16)
+    with pytest.raises(ValueError, match="unknown ring kind"):
+        make_ring("rendezvous", 4)
+
+
+@pytest.mark.parametrize("factory", [ModuloRing, ConsistentHashRing])
+def test_rings_reject_zero_partitions(factory):
+    with pytest.raises(ValueError):
+        factory(0)
