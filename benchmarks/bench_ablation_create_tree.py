@@ -21,13 +21,14 @@ def test_create_tree_dispatch(benchmark):
     runs = run_once(benchmark, sweep)
     rows = [
         [p, run.sequential_ms, run.tree_ms,
-         run.sequential_ms / run.tree_ms]
+         run.sequential_ms / run.tree_ms, run.batched_per_file_ms]
         for p, run in sorted(runs.items())
     ]
     ps = sorted(runs)
     seq_fit = fit_line(ps, [runs[p].sequential_ms for p in ps])
     table = format_table(
-        ["p", "sequential (ms)", "tree (ms)", "tree advantage"],
+        ["p", "sequential (ms)", "tree (ms)", "tree advantage",
+         "batched (ms/file)"],
         rows,
         title="Create: sequential vs embedded-binary-tree dispatch",
     )
@@ -43,6 +44,7 @@ def test_create_tree_dispatch(benchmark):
             str(p): {
                 "sequential_ms": runs[p].sequential_ms,
                 "tree_ms": runs[p].tree_ms,
+                "batched_per_file_ms": runs[p].batched_per_file_ms,
             }
             for p in ps
         },
@@ -56,3 +58,8 @@ def test_create_tree_dispatch(benchmark):
     assert advantage[32] > advantage[4]
     # tree growth is sublinear: doubling p far from doubles the time
     assert runs[32].tree_ms < runs[8].tree_ms * 2.5
+    # the S23 batched arm amortizes the fixed per-create charges: each
+    # file in an 8-wide mcreate costs less than either singleton path
+    for p in ps:
+        assert runs[p].batched_per_file_ms < runs[p].sequential_ms, p
+        assert runs[p].batched_per_file_ms < runs[p].tree_ms, p

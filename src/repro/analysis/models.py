@@ -354,6 +354,69 @@ def fabric_server_seconds(names: Sequence[str], servers: int,
 
 
 # ---------------------------------------------------------------------------
+# S23: batched metadata RPC model
+# ---------------------------------------------------------------------------
+#
+# A batched metadata op (mopen/mstat/mcreate/mdelete) buckets its names
+# by the live ring and issues one RPC per window-sized sub-batch per
+# touched partition.  The count is purely combinatorial, so — like the
+# S17 list-I/O model — the simulator must reproduce it RPC-for-RPC: the
+# metadata bench asserts the observed server request counters equal
+# these formulas exactly.
+
+
+def metadata_partition_buckets(names: Sequence[str], partitions: int,
+                               ring=None) -> Dict[int, int]:
+    """Per-partition name counts under the production routing.
+
+    ``ring`` is any S22 ring object; the default is the rigid mod-k
+    ring, which matches a freshly built fabric of ``partitions``
+    servers.  Only touched partitions appear as keys.
+    """
+    from repro.elastic.ring import ModuloRing
+
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    if ring is None:
+        ring = ModuloRing(partitions)
+    buckets: Dict[int, int] = {}
+    for name in names:
+        partition = ring.partition_of(name)
+        buckets[partition] = buckets.get(partition, 0) + 1
+    return buckets
+
+
+def batched_rpc_count(names: Sequence[str], partitions: int,
+                      window: int = 0, ring=None) -> int:
+    """Exact RPC count of one batched metadata op.
+
+    ``sum(ceil(k_i / window))`` over the touched partitions' name counts
+    ``k_i``; ``window = 0`` (an unbounded ``bridge_fanout_limit``) means
+    one RPC per touched partition.
+    """
+    if window < 0:
+        raise ValueError("window must be >= 0")
+    buckets = metadata_partition_buckets(names, partitions, ring=ring)
+    if window == 0:
+        return len(buckets)
+    return sum(math.ceil(count / window) for count in buckets.values())
+
+
+def metadata_rpc_counts(names: Sequence[str], partitions: int,
+                        window: int = 0, ring=None) -> Dict[str, int]:
+    """The per-name-loop vs batched comparison in one package:
+    ``per_name`` (one RPC per name, what a sequential client pays),
+    ``batched`` (the S23 count), and ``partitions_touched``."""
+    buckets = metadata_partition_buckets(names, partitions, ring=ring)
+    return {
+        "per_name": len(list(names)),
+        "batched": batched_rpc_count(names, partitions, window=window,
+                                     ring=ring),
+        "partitions_touched": len(buckets),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Queueing models (S21): predicted waits for the traffic cross-check
 # ---------------------------------------------------------------------------
 

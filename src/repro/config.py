@@ -106,6 +106,15 @@ class CpuCosts:
     #: inside a migration's double-read window — never with elasticity
     #: off, so the seed event sequence is untouched.
     bridge_forward: float = 0.3 * MS
+    #: Per-name work inside an S23 batched metadata op (``mopen`` /
+    #: ``mstat`` / ``mcreate`` / ``mdelete``): one directory hash and
+    #: entry touch.  A batch pays ``bridge_request`` and the
+    #: ``bridge_directory_probe`` *once* — a single sweep of the server's
+    #: metadata storage fetches every requested entry — so per-name cost
+    #: drops from the full 71 ms decode+probe to this charge.  Never
+    #: charged on the singleton paths, so the seed event sequence is
+    #: untouched.
+    bridge_batch_name: float = 2.0 * MS
     #: Tool worker per-record handling (format/compare/copy).
     tool_record: float = 1.0 * MS
     #: One key comparison during in-core sorting.

@@ -6,6 +6,7 @@ machinery.
 """
 
 from repro.core.addressing import InterleaveMap
+from repro.core.batch import BATCH_SIZE_BOUNDS, FileStat, NameOutcome
 from repro.core.cache import BridgeBlockCache
 from repro.core.client import BridgeClient
 from repro.core.directory import BridgeDirectory, BridgeFileEntry
@@ -24,6 +25,7 @@ from repro.core.relay import RelayServer
 from repro.core.server import BridgeServer
 
 __all__ = [
+    "BATCH_SIZE_BOUNDS",
     "BlockDelivery",
     "BridgeBlockCache",
     "BridgeClient",
@@ -32,10 +34,12 @@ __all__ = [
     "BridgeServer",
     "ConstituentInfo",
     "Deposit",
+    "FileStat",
     "InterleaveMap",
     "JobController",
     "JobInfo",
     "LFSHandle",
+    "NameOutcome",
     "PartitionedBridge",
     "PartitionedClient",
     "ReorganizeResult",

@@ -57,9 +57,61 @@ class BridgeClient:
         """Open (a hint, per section 4.1); returns an OpenResult."""
         return (yield from self._rpc.call(self.server_port, "open", name=name))
 
+    def stat(self, name: str):
+        """Directory-only metadata probe; returns a FileStat (no LFS
+        round trip — sizes are as of the last open/write)."""
+        return (yield from self._rpc.call(self.server_port, "stat", name=name))
+
+    def find(self, prefix: str = ""):
+        """All file names with the given prefix, sorted (the flat
+        namespace's "recursive directory listing")."""
+        return (yield from self._rpc.call(self.server_port, "find",
+                                          prefix=prefix))
+
     def get_info(self):
         """The Get Info package for tool construction."""
         return (yield from self._rpc.call(self.server_port, "get_info"))
+
+    # ------------------------------------------------------------------
+    # Batched metadata ops (S23)
+    # ------------------------------------------------------------------
+    #
+    # Each issues ONE request carrying the whole name list and returns
+    # one NameOutcome per name, in input order; a bad name is that
+    # name's outcome, never an exception.  Against a partitioned fabric
+    # use PartitionedClient, which buckets names by the live ring and
+    # windows the per-partition batches.
+
+    def mopen(self, names):
+        """Batched Open; returns ``[NameOutcome(value=OpenResult)]``."""
+        return (yield from self._rpc.call(self.server_port, "mopen",
+                                          names=list(names)))
+
+    def mstat(self, names):
+        """Batched stat; returns ``[NameOutcome(value=FileStat)]``."""
+        return (yield from self._rpc.call(self.server_port, "mstat",
+                                          names=list(names)))
+
+    def mcreate(self, names, width=None, node_slots=None, start: int = 0,
+                disordered: bool = False):
+        """Batched create (shared shape parameters); returns
+        ``[NameOutcome(value=file_id)]``."""
+        return (
+            yield from self._rpc.call(
+                self.server_port,
+                "mcreate",
+                names=list(names),
+                width=width,
+                node_slots=node_slots,
+                start=start,
+                disordered=disordered,
+            )
+        )
+
+    def mdelete(self, names):
+        """Batched delete; returns ``[NameOutcome(value=blocks_freed)]``."""
+        return (yield from self._rpc.call(self.server_port, "mdelete",
+                                          names=list(names)))
 
     # ------------------------------------------------------------------
     # Block access

@@ -187,6 +187,9 @@ class PartitionedClient:
     def open(self, name):
         return (yield from self._client(name).open(name))
 
+    def stat(self, name):
+        return (yield from self._client(name).stat(name))
+
     def seq_read(self, name):
         return (yield from self._client(name).seq_read(name))
 
@@ -219,33 +222,134 @@ class PartitionedClient:
     # Cross-partition operations
     # ------------------------------------------------------------------
 
-    def get_info(self):
-        """Aggregate ``Get Info`` across every partition.
+    def _window(self) -> int:
+        """The fabric's fan-out window (``bridge_fanout_limit``; 0 =
+        unbounded).  Every cross-partition fan-out below respects it."""
+        return self.bridge.servers[0].config.bridge_fanout_limit
 
-        One fan-out (so a count-4 trace shows one client span with legs
-        to four server rows); the partitions must agree on the LFS set —
-        they always do in a well-formed fabric, and disagreement is a
-        wiring bug worth failing loudly on.  The merged package carries
-        every partition's request port in ``server_ports``.
-        """
+    def _fanout(self, label, calls, **attrs):
+        """One windowed cross-partition gather under a single client
+        span — the shared fan-out path behind the batched metadata ops,
+        ``find``, and ``get_info``.  A count-4 trace shows one
+        ``pclient.<label>`` span with legs to four server rows."""
         obs = self.node.machine.sim.obs
         span = None
         prev = None
         if obs is not None:
-            # One client span over the whole fan-out, so the four gather
-            # legs (and the per-partition handler spans under them) hang
-            # off a single root in the exported trace.
             prev = obs.current
-            span = obs.begin("pclient.get_info", "client",
+            span = obs.begin(f"pclient.{label}", "client",
                              node=self.node.index)
             obs.set_current(span)
-        calls = [(port, "get_info", {}, 0) for port in self.bridge.ports]
         try:
-            infos = yield from gather(self.node, calls)
+            results = yield from gather(
+                self.node, calls, max_in_flight=self._window() or None
+            )
         finally:
             if obs is not None:
-                obs.end(span, partitions=len(calls))
+                obs.end(span, **attrs)
                 obs.set_current(prev)
+        return results
+
+    def _mop(self, method, names, args_of):
+        """One batched metadata op across the fabric (S23).
+
+        Buckets ``names`` by the live ring, splits each partition's
+        bucket into window-sized sub-batches, and issues them all as one
+        windowed gather — ``sum(ceil(k_i / window))`` RPCs for ``k_i``
+        names on partition ``i`` instead of one per name (see
+        ``repro.analysis.batched_rpc_count`` for the exact model).
+        Outcomes are re-assembled in input order; duplicates keep
+        per-occurrence outcomes.  Elastic-safe: the ring is consulted at
+        issue time and the owning server chases any name caught in a
+        migration's forwarding window.
+        """
+        names = list(names)
+        if not names:
+            return []
+        buckets: Dict[int, List[int]] = {}
+        for index, name in enumerate(names):
+            buckets.setdefault(self.bridge.partition_of(name), []).append(index)
+        window = self._window()
+        calls = []
+        slices = []
+        for partition in sorted(buckets):
+            indexes = buckets[partition]
+            step = window if window > 0 else len(indexes)
+            port = self.bridge.servers[partition].port
+            for lo in range(0, len(indexes), step):
+                chunk = indexes[lo:lo + step]
+                calls.append(
+                    (port, method, args_of([names[i] for i in chunk]), 0)
+                )
+                slices.append(chunk)
+        batches = yield from self._fanout(
+            method, calls, names=len(names), rpcs=len(calls)
+        )
+        outcomes = [None] * len(names)
+        for chunk, batch in zip(slices, batches):
+            for index, outcome in zip(chunk, batch):
+                outcomes[index] = outcome
+        return outcomes
+
+    def mopen(self, names):
+        """Batched Open; one windowed RPC per partition sub-batch."""
+        return (
+            yield from self._mop("mopen", names,
+                                 lambda chunk: {"names": chunk})
+        )
+
+    def mstat(self, names):
+        """Batched directory-only stat across the fabric."""
+        return (
+            yield from self._mop("mstat", names,
+                                 lambda chunk: {"names": chunk})
+        )
+
+    def mcreate(self, names, width=None, node_slots=None, start=0,
+                disordered=False):
+        """Batched create; the shape parameters apply to every name."""
+        return (
+            yield from self._mop(
+                "mcreate", names,
+                lambda chunk: {"names": chunk, "width": width,
+                               "node_slots": node_slots, "start": start,
+                               "disordered": disordered},
+            )
+        )
+
+    def mdelete(self, names):
+        """Batched delete across the fabric."""
+        return (
+            yield from self._mop("mdelete", names,
+                                 lambda chunk: {"names": chunk})
+        )
+
+    def find(self, prefix=""):
+        """Union of every partition's prefix listing, sorted — the
+        fabric's "recursive directory listing" under the parallel
+        utilities."""
+        calls = [(port, "find", {"prefix": prefix}, 0)
+                 for port in self.bridge.ports]
+        listings = yield from self._fanout("find", calls,
+                                           partitions=len(calls))
+        merged = []
+        for listing in listings:
+            merged.extend(listing)
+        return sorted(merged)
+
+    def get_info(self):
+        """Aggregate ``Get Info`` across every partition.
+
+        One fan-out through the shared windowed path (so a count-4 trace
+        shows one client span with legs to four server rows); the
+        partitions must agree on the LFS set — they always do in a
+        well-formed fabric, and disagreement is a wiring bug worth
+        failing loudly on.  The merged package carries every partition's
+        request port in ``server_ports``.
+        """
+        calls = [(port, "get_info", {}, 0) for port in self.bridge.ports]
+        infos = yield from self._fanout("get_info", calls,
+                                        partitions=len(calls))
         first = infos[0]
         layout = [handle.node_index for handle in first.lfs]
         for index, info in enumerate(infos[1:], start=1):

@@ -45,7 +45,7 @@ from repro.config import BLOCK_SIZE, DATA_BYTES_PER_BLOCK
 from repro.core.directory import BridgeFileEntry
 from repro.core.parallel import BlockDelivery, Deposit
 from repro.errors import BridgeBadRequestError, BridgeJobError
-from repro.machine import gather
+from repro.machine import gather, gather_settled
 from repro.machine.rpc import Detached, Request
 from repro.sim import Timeout
 
@@ -84,6 +84,28 @@ class RequestPipeline:
         cpu = server.config.cpu
         yield Timeout(
             cpu.bridge_request + (cpu.bridge_directory_probe if probe else 0)
+        )
+
+    def admit_batch(self, count: int):
+        """Stage-1 admission for an S23 multi-name metadata batch.
+
+        The request decode (``bridge_request``) and the directory probe
+        are paid *once* — a single sweep of the server's metadata
+        storage fetches every requested entry — plus a per-name
+        hash/entry charge (``bridge_batch_name``).  This amortization is
+        the whole point of the batched surface: a singleton metadata op
+        is dominated by the fixed 71 ms decode+probe, so n names in one
+        batch cost a fraction of n singleton requests.  Admission
+        control sees the batch as one request (it carries one envelope).
+        """
+        server = self.server
+        control = server.admission
+        if control is not None:
+            yield from control.admit(server, server._active_request)
+        cpu = server.config.cpu
+        yield Timeout(
+            cpu.bridge_request + cpu.bridge_directory_probe
+            + cpu.bridge_batch_name * count
         )
 
     def resolve(self, name: str) -> BridgeFileEntry:
@@ -193,6 +215,18 @@ class RequestPipeline:
         through here, at most ``bridge_fanout_limit`` in flight (0 =
         unbounded, the seed default)."""
         results = yield from gather(
+            self.server.node, calls,
+            max_in_flight=self.server.config.bridge_fanout_limit or None,
+        )
+        return results
+
+    def fanout_settled(self, calls):
+        """Windowed gather whose per-call errors come back as values
+        (``(value, error)`` pairs): the S23 batch handlers' fan-out for
+        legs that must settle independently — chasing names through a
+        migration's forwarding window — where one name's failure is that
+        name's outcome, not the batch's."""
+        results = yield from gather_settled(
             self.server.node, calls,
             max_in_flight=self.server.config.bridge_fanout_limit or None,
         )

@@ -33,14 +33,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
+from repro.core.batch import BATCH_SIZE_BOUNDS, FileStat, NameOutcome
 from repro.core.cache import BridgeBlockCache
 from repro.core.directory import BridgeDirectory, BridgeFileEntry
 from repro.core.info import ConstituentInfo, LFSHandle, OpenResult, SystemInfo
 from repro.core.parallel import JobInfo
 from repro.core.pipeline import RequestPipeline
 from repro.core.prefetch import Prefetcher
-from repro.errors import BridgeBadRequestError, BridgeJobError
+from repro.errors import BridgeBadRequestError, BridgeError, BridgeJobError
 from repro.machine import Port, Response, Server
+from repro.sim import Timeout
 
 
 class _Job:
@@ -142,6 +144,17 @@ class BridgeServer(Server):
         interleaving's consecutive-block guarantee.
         """
         yield from self.pipeline.admit(probe=True)
+        file_id = yield from self._create_one(
+            name, width, node_slots, start, disordered
+        )
+        yield from self.pipeline.commit()
+        return file_id
+
+    def _create_one(self, name, width, node_slots, start, disordered):
+        """The create body shared by ``op_create`` and ``op_mcreate``:
+        everything between the admission charge and the directory-update
+        commit — validation, the staged/tree constituent spawn, and the
+        directory insert."""
         if self.directory.exists(name):
             from repro.errors import BridgeFileExistsError
 
@@ -189,7 +202,6 @@ class BridgeServer(Server):
                  for slot, args in zip(slots, args_per_slot)]
             )
         self.directory.insert(entry)
-        yield from self.pipeline.commit()
         self._cursors[name] = 0
         # Name reuse after delete: nothing cached may survive.
         self.pipeline.evict_file(name)
@@ -237,6 +249,13 @@ class BridgeServer(Server):
                 for slot in range(entry.width)
             ]
         )
+        return self._open_result(name, entry, infos)
+
+    def _open_result(self, name, entry, infos) -> OpenResult:
+        """Turn one name's per-constituent ``info`` replies into the open
+        package: size reconciliation, hint feedback, cursor reset.
+        Shared by ``op_open`` and ``op_mopen`` (synchronous — the fan-out
+        already happened)."""
         sizes = [info.size_blocks for info in infos]
         if entry.disordered:
             if sum(sizes) != len(entry.block_map or []):
@@ -272,10 +291,257 @@ class BridgeServer(Server):
             constituents=constituents,
         )
 
+    def op_stat(self, name):
+        """Directory-only metadata probe: what the server knows without
+        an LFS round trip.  ``total_blocks`` is as of the last open or
+        write through this server — Open itself is only "a hint"
+        (section 4.1), so a stat is the cheap hint-refresh parallel
+        utilities want when walking thousands of names."""
+        yield from self.pipeline.admit(probe=True)
+        return self._stat_of(self.pipeline.resolve(name))
+
+    def op_find(self, prefix=""):
+        """Enumerate directory names with a prefix, sorted.
+
+        The Bridge namespace is flat, so a "deep tree" is a family of
+        ``/``-separated name prefixes; one find per partition is the
+        enumeration primitive under ``pfind``/``pcp -r``/``prm -r``.
+        Names whose migration is in flight at this instant live in
+        exactly one partition's directory or in the mover's hands, so a
+        cross-partition find during a resize sweep can miss an in-flight
+        name — utilities enumerate before or after a sweep, and the
+        batched m-ops (which chase forwards per name) are the
+        migration-safe surface.
+        """
+        yield from self.pipeline.admit(probe=True)
+        return [name for name in self.directory.names()
+                if name.startswith(prefix)]
+
+    def _stat_of(self, entry: BridgeFileEntry) -> FileStat:
+        return FileStat(
+            name=entry.name,
+            file_id=entry.file_id,
+            width=entry.width,
+            start=entry.start,
+            total_blocks=entry.total_blocks,
+            disordered=entry.disordered,
+        )
+
     def op_get_info(self):
         """The tool bootstrap package (Table 1: Get Info -> LFS handles)."""
         yield from self.pipeline.admit()
         return SystemInfo(lfs=list(self.lfs), server_port=self.port)
+
+    # ==================================================================
+    # S23 batched metadata ops
+    # ==================================================================
+    #
+    # Each handler serves many names in one request: the decode and
+    # directory probe are paid once (pipeline.admit_batch), per-name
+    # results come back as NameOutcome records in request order, and a
+    # bad name is *that name's* outcome, never the batch's.  The base
+    # loop's forwarding seam keys on the singular ``name`` argument, so
+    # batched requests are never redirected wholesale — instead each
+    # handler splits its batch against ``forward_to`` and chases the
+    # moved names with singleton ops from a detached side process (the
+    # server keeps serving; two partitions chasing into each other can
+    # never deadlock the fabric).
+
+    def op_mopen(self, names):
+        """Batched Open: one windowed info fan-out covers every
+        ``(name, slot)`` leg of the whole batch."""
+        names = self._batch_begin("mopen", names)
+        yield from self.pipeline.admit_batch(len(names))
+        local, moved = self._split_batch(names)
+        outcomes: List[Optional[NameOutcome]] = [None] * len(names)
+        entries = []
+        for index in local:
+            name = names[index]
+            try:
+                entries.append((index, name, self.pipeline.resolve(name)))
+            except BridgeError as exc:
+                outcomes[index] = NameOutcome(name, error=exc)
+        calls = []
+        legs = []
+        for index, name, entry in entries:
+            for slot in range(entry.width):
+                calls.append(
+                    (self._slot_port(entry, slot), "info",
+                     {"file_number": entry.efs_file_numbers[slot]}, 0)
+                )
+                legs.append(index)
+        infos = yield from self.pipeline.fanout(calls)
+        per_index: Dict[int, List] = {}
+        for index, info in zip(legs, infos):
+            per_index.setdefault(index, []).append(info)
+        for index, name, entry in entries:
+            try:
+                outcomes[index] = NameOutcome(
+                    name,
+                    value=self._open_result(name, entry, per_index.get(index, [])),
+                )
+            except BridgeError as exc:
+                outcomes[index] = NameOutcome(name, error=exc)
+        return self._settle(outcomes, moved, "open")
+
+    def op_mstat(self, names):
+        """Batched stat: directory-only, no LFS traffic at all — the
+        whole batch is served out of the one metadata sweep that
+        ``admit_batch`` charges."""
+        names = self._batch_begin("mstat", names)
+        yield from self.pipeline.admit_batch(len(names))
+        local, moved = self._split_batch(names)
+        outcomes: List[Optional[NameOutcome]] = [None] * len(names)
+        for index in local:
+            name = names[index]
+            try:
+                outcomes[index] = NameOutcome(
+                    name, value=self._stat_of(self.pipeline.resolve(name))
+                )
+            except BridgeError as exc:
+                outcomes[index] = NameOutcome(name, error=exc)
+        return self._settle(outcomes, moved, "stat")
+
+    def op_mcreate(self, names, width=None, node_slots=None, start=0,
+                   disordered=False):
+        """Batched create: per-name validation and the staged/tree
+        constituent spawns run name by name (the monitor serializes
+        directory mutations), but the probe and the directory-update
+        commit are paid once for the whole batch.  A duplicate name —
+        in the directory or earlier in the same batch — gets the same
+        exists error the singleton op raises."""
+        names = self._batch_begin("mcreate", names)
+        yield from self.pipeline.admit_batch(len(names))
+        local, moved = self._split_batch(names)
+        outcomes: List[Optional[NameOutcome]] = [None] * len(names)
+        for index in local:
+            name = names[index]
+            try:
+                file_id = yield from self._create_one(
+                    name, width, node_slots, start, disordered
+                )
+            except BridgeError as exc:
+                outcomes[index] = NameOutcome(name, error=exc)
+            else:
+                outcomes[index] = NameOutcome(name, value=file_id)
+        yield from self.pipeline.commit()
+        return self._settle(
+            outcomes, moved, "create",
+            {"width": width, "node_slots": node_slots, "start": start,
+             "disordered": disordered},
+        )
+
+    def op_mdelete(self, names):
+        """Batched delete: directory removals and cache-generation bumps
+        happen synchronously per name — exactly like ``op_delete`` — with
+        one commit for the batch; every LFS walk then runs in a single
+        detached windowed fan-out, so one big batch never serializes
+        unrelated clients behind the server."""
+        names = self._batch_begin("mdelete", names)
+        yield from self.pipeline.admit_batch(len(names))
+        local, moved = self._split_batch(names)
+        outcomes: List[Optional[NameOutcome]] = [None] * len(names)
+        victims = []
+        for index in local:
+            name = names[index]
+            try:
+                entry = self.pipeline.resolve(name)
+            except BridgeError as exc:
+                outcomes[index] = NameOutcome(name, error=exc)
+                continue
+            self.directory.remove(name)
+            self._cursors.pop(name, None)
+            for slot in range(entry.width):
+                self._hints.pop((name, slot), None)
+            self.pipeline.evict_file(name)
+            victims.append((index, name, entry))
+        yield from self.pipeline.commit()
+
+        def reap():
+            calls = []
+            legs = []
+            for index, _name, entry in victims:
+                for slot in range(entry.width):
+                    calls.append(
+                        (self._slot_port(entry, slot), "delete",
+                         {"file_number": entry.efs_file_numbers[slot]}, 0)
+                    )
+                    legs.append(index)
+            freed = yield from self.pipeline.fanout(calls)
+            totals: Dict[int, int] = {}
+            for index, count in zip(legs, freed):
+                totals[index] = totals.get(index, 0) + count
+            for index, name, _entry in victims:
+                outcomes[index] = NameOutcome(name, value=totals.get(index, 0))
+            if moved:
+                yield from self._chase(outcomes, moved, "delete")
+            return outcomes
+
+        return self.pipeline.detach(reap())
+
+    # -- batch internals ------------------------------------------------
+
+    def _batch_begin(self, op: str, names) -> List[str]:
+        """Validate and count one incoming batch (S19 telemetry: the
+        batch-size histogram plus per-op batched counters, so SLO
+        dashboards can tell batched from singleton metadata traffic)."""
+        names = list(names)
+        if not names:
+            raise BridgeBadRequestError(f"{op}: empty name batch")
+        obs = self.node.machine.sim.obs
+        if obs is not None:
+            obs.metrics.histogram(
+                "bridge.batch.names", BATCH_SIZE_BOUNDS
+            ).observe(len(names))
+            obs.metrics.counter(f"{self.name}.batch.{op}.batches").inc()
+            obs.metrics.counter(f"{self.name}.batch.{op}.names").inc(len(names))
+        return names
+
+    def _split_batch(self, names: List[str]):
+        """Partition a batch against the S22 forwarding table: indexes
+        served locally vs ``(index, name, target)`` entries caught in a
+        migration's double-read window."""
+        if not self.forward_to:
+            return list(range(len(names))), []
+        local = []
+        moved = []
+        for index, name in enumerate(names):
+            target = self.forward_to.get(name)
+            if target is None:
+                local.append(index)
+            else:
+                moved.append((index, name, target))
+        return local, moved
+
+    def _settle(self, outcomes, moved, method, extra_args=None):
+        """Finish a batch: complete immediately when nothing was caught
+        mid-migration, otherwise chase the moved names from a detached
+        side process so this server keeps serving meanwhile."""
+        if not moved:
+            return outcomes
+        return self.pipeline.detach(
+            self._chase(outcomes, moved, method, extra_args)
+        )
+
+    def _chase(self, outcomes, moved, method, extra_args=None):
+        """Forward batch members through the S22 double-read window as
+        singleton ops on the entry's new home, settling each name
+        independently (the target's own loop forwards any further hop).
+        Charges the same per-request routing CPU as a loop-level
+        redirect."""
+        if self._forward_cost > 0.0:
+            yield Timeout(self._forward_cost * len(moved))
+        self.forwarded += len(moved)
+        calls = []
+        for _index, name, target in moved:
+            args = {"name": name}
+            if extra_args:
+                args.update(extra_args)
+            calls.append((target, method, args, 0))
+        settled = yield from self.pipeline.fanout_settled(calls)
+        for (index, name, _target), (value, error) in zip(moved, settled):
+            outcomes[index] = NameOutcome(name, value=value, error=error)
+        return outcomes
 
     # ==================================================================
     # S22 live migration (the elastic fabric's entry-move protocol)

@@ -336,7 +336,8 @@ def run_token_saturation(width: int, records: Optional[int] = None,
 # ---------------------------------------------------------------------------
 
 
-def run_create_tree_experiment(p: int, seed: int = 0) -> CreateTreeRun:
+def run_create_tree_experiment(p: int, seed: int = 0,
+                               batch: int = 8) -> CreateTreeRun:
     def create_ms(use_tree: bool) -> float:
         config = DEFAULT_CONFIG.with_changes(create_uses_tree=use_tree)
         system = paper_system(p, seed=seed, config=config)
@@ -349,8 +350,163 @@ def run_create_tree_experiment(p: int, seed: int = 0) -> CreateTreeRun:
 
         return system.run(body(), name="create-probe")
 
+    def batched_per_file_ms() -> float:
+        # The S23 arm: one mcreate of ``batch`` identically-shaped
+        # files amortizes the fixed per-request charges; the tree
+        # dispatch (the winner above) serves each create inside it.
+        config = DEFAULT_CONFIG.with_changes(create_uses_tree=True)
+        system = paper_system(p, seed=seed, config=config)
+        client = system.naive_client()
+        names = [f"probe{index}" for index in range(batch)]
+
+        def body():
+            start = system.sim.now
+            outcomes = yield from client.mcreate(names)
+            for outcome in outcomes:
+                outcome.unwrap()
+            return (system.sim.now - start) * 1e3 / len(names)
+
+        return system.run(body(), name="create-batch")
+
     return CreateTreeRun(
-        p=p, sequential_ms=create_ms(False), tree_ms=create_ms(True)
+        p=p, sequential_ms=create_ms(False), tree_ms=create_ms(True),
+        batched_per_file_ms=batched_per_file_ms(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# E24: batched metadata ops vs per-name loops
+# ---------------------------------------------------------------------------
+
+
+def run_metadata_experiment(servers: int = 4, names: int = 256, seed: int = 0,
+                            window: int = 0, lfs_count: int = 4):
+    """One S23 ablation point: the same metadata-pure name family pushed
+    through a per-name loop and through the batched surface.
+
+    Both arms run on identical fresh fabrics (``servers`` partitions
+    over ``lfs_count`` LFS, ``bridge_fanout_limit = window``) and walk
+    the same four phases — create, open, stat, delete — over ``names``
+    empty width-1 files.  Wall clock and the summed Bridge-Server
+    ``requests_served`` delta are recorded per phase; the RPC counts
+    must match :func:`repro.analysis.batched_rpc_count` exactly (the
+    bench and tests assert equality, not shape).  Returns a
+    :class:`~repro.harness.results.MetadataRun`.
+    """
+    from repro.analysis.models import (
+        batched_rpc_count,
+        metadata_partition_buckets,
+    )
+    from repro.harness.results import MetadataRun
+
+    name_family = [f"meta/d{i % 16:02d}/f{i:05d}" for i in range(names)]
+    config = DEFAULT_CONFIG.with_changes(bridge_fanout_limit=window)
+
+    def run_arm(batched: bool):
+        system = paper_system(lfs_count, seed=seed,
+                              bridge_server_count=servers, config=config)
+        client = system.partitioned_client()
+        ms: Dict[str, float] = {}
+        rpcs: Dict[str, int] = {}
+        errors = 0
+
+        def served() -> int:
+            return sum(bridge.requests_served for bridge in system.bridges)
+
+        def phase(op, body):
+            before_ms = system.sim.now
+            before_rpcs = served()
+            result = system.run(body(), name=f"meta-{op}")
+            ms[op] = (system.sim.now - before_ms) * 1e3
+            rpcs[op] = served() - before_rpcs
+            return result
+
+        if batched:
+            def create():
+                return (yield from client.mcreate(name_family, width=1))
+
+            def open_():
+                return (yield from client.mopen(name_family))
+
+            def stat():
+                return (yield from client.mstat(name_family))
+
+            def delete():
+                return (yield from client.mdelete(name_family))
+
+            for op, body in (("create", create), ("open", open_)):
+                for outcome in phase(op, body):
+                    if not outcome.ok:
+                        errors += 1
+            stats = []
+            for outcome in phase("stat", stat):
+                if outcome.ok:
+                    stats.append(outcome.value)
+                else:
+                    errors += 1
+            freed = 0
+            for outcome in phase("delete", delete):
+                if outcome.ok:
+                    freed += outcome.value
+                else:
+                    errors += 1
+        else:
+            def create():
+                for name in name_family:
+                    yield from client.create(name, width=1)
+
+            def open_():
+                for name in name_family:
+                    yield from client.open(name)
+
+            def stat():
+                results = []
+                for name in name_family:
+                    results.append((yield from client.stat(name)))
+                return results
+
+            def delete():
+                total = 0
+                for name in name_family:
+                    total += yield from client.delete(name)
+                return total
+
+            phase("create", create)
+            phase("open", open_)
+            stats = phase("stat", stat)
+            freed = phase("delete", delete)
+
+        return ms, rpcs, stats, freed, errors
+
+    loop_ms, loop_rpcs, loop_stats, loop_freed, loop_errors = run_arm(False)
+    batch_ms, batch_rpcs, batch_stats, batch_freed, batch_errors = (
+        run_arm(True)
+    )
+
+    def shape(stat):
+        return (stat.name, stat.width, stat.start, stat.total_blocks)
+
+    content_ok = (
+        len(loop_stats) == len(batch_stats) == names
+        and all(shape(a) == shape(b)
+                for a, b in zip(loop_stats, batch_stats))
+        and loop_freed == batch_freed
+    )
+    buckets = metadata_partition_buckets(name_family, servers)
+    return MetadataRun(
+        servers=servers,
+        names=names,
+        window=window,
+        partitions_touched=len(buckets),
+        model_per_name_rpcs=names,
+        model_batched_rpcs=batched_rpc_count(name_family, servers,
+                                             window=window),
+        per_name_ms=loop_ms,
+        batched_ms=batch_ms,
+        per_name_rpcs=loop_rpcs,
+        batched_rpcs=batch_rpcs,
+        errors=loop_errors + batch_errors,
+        content_ok=content_ok,
     )
 
 

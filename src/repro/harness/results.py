@@ -100,11 +100,14 @@ class TokenSaturationRun:
 
 @dataclass
 class CreateTreeRun:
-    """Create latency: sequential vs tree dispatch."""
+    """Create latency: sequential vs tree dispatch (plus, since S23,
+    the per-file cost of one batched ``mcreate`` amortizing the fixed
+    per-request charges over the whole batch)."""
 
     p: int
     sequential_ms: float
     tree_ms: float
+    batched_per_file_ms: float = 0.0
 
 
 @dataclass
@@ -413,3 +416,32 @@ class ElasticRun:
     def failed(self) -> int:
         """Hard failures summed across all three phases."""
         return sum(int(summary["failed"]) for summary in self.phases.values())
+
+
+@dataclass
+class MetadataRun:
+    """One S23 batched-metadata ablation point (E24).
+
+    Both arms drive the same empty-file name family through the same
+    partitioned fabric — the per-name arm loops the singleton ops, the
+    batched arm issues one ``m*`` call per phase — so the wall-clock
+    ratio isolates the batching win and the RPC counters can be checked
+    against :func:`repro.analysis.batched_rpc_count` for equality.
+    """
+
+    servers: int
+    names: int
+    window: int  # effective bridge_fanout_limit (0 = unbounded)
+    partitions_touched: int
+    model_per_name_rpcs: int
+    model_batched_rpcs: int
+    per_name_ms: Dict[str, float]  # op -> phase wall clock, ms
+    batched_ms: Dict[str, float]
+    per_name_rpcs: Dict[str, int]  # op -> observed server request delta
+    batched_rpcs: Dict[str, int]
+    errors: int
+    content_ok: bool
+
+    def speedup(self, op: str) -> float:
+        batched = self.batched_ms[op]
+        return self.per_name_ms[op] / batched if batched > 0 else float("inf")

@@ -6,13 +6,22 @@ Replaces the BBN Butterfly / Chrysalis substrate of the paper's prototype.
 from repro.machine.machine import Machine
 from repro.machine.network import ButterflyNetwork, EthernetNetwork, ZeroLatencyNetwork
 from repro.machine.node import Node, Port
-from repro.machine.rpc import Client, Request, Response, Server, gather, oneway
+from repro.machine.rpc import (
+    Client,
+    Request,
+    Response,
+    Server,
+    gather,
+    gather_settled,
+    oneway,
+)
 
 __all__ = [
     "ButterflyNetwork",
     "Client",
     "EthernetNetwork",
     "gather",
+    "gather_settled",
     "Machine",
     "Node",
     "Port",

@@ -408,6 +408,56 @@ def gather(node: Node, calls, max_in_flight: Optional[int] = None):
     return values
 
 
+def gather_settled(node: Node, calls, max_in_flight: Optional[int] = None):
+    """Like :func:`gather`, but per-call errors are returned, not raised.
+
+    Returns a list of ``(value, error)`` pairs in call order — exactly
+    one of the two is set per pair.  The S23 batched metadata handlers
+    use this to chase names caught in a migration's forwarding window:
+    each chased name must settle independently (a deleted name's
+    not-found is *that name's* outcome), so the fail-fast semantics of
+    :func:`gather` are exactly wrong here.  Windowing and per-leg span
+    accounting match :func:`gather`.
+    """
+    if max_in_flight is not None and max_in_flight < 1:
+        raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+    calls = list(calls)
+    if not calls:
+        return []
+    window = len(calls) if max_in_flight is None else max_in_flight
+    obs = node.machine.sim.obs
+    prev = obs.current if obs is not None else None
+    settled = []
+    for window_start in range(0, len(calls), window):
+        batch = calls[window_start:window_start + window]
+        reply_ports = []
+        legs = []
+        for port, method, args, size in batch:
+            reply_port = node.port()
+            request = Request(method, args, reply_port, size,
+                              sent_at=node.machine.sim.now)
+            leg = None
+            if obs is not None:
+                leg = obs.begin(f"gather.{method}", "client",
+                                parent=prev, inherit=False, node=node.index)
+                request.trace_ctx = SpanContext(leg)
+                obs.current = leg
+            node.send(port, request, size=size)
+            if obs is not None:
+                obs.current = prev
+            reply_ports.append(reply_port)
+            legs.append(leg)
+        for offset, reply_port in enumerate(reply_ports):
+            response = yield reply_port.recv()
+            if obs is not None:
+                obs.end(legs[offset])
+            if response.error is not None:
+                settled.append((None, response.error))
+            else:
+                settled.append((response.value, None))
+    return settled
+
+
 def _annotate_gather_error(error: Exception, port: Port, method: str,
                            index: int, total: int) -> Exception:
     """Attach the originating call to a gathered error, preserving type."""

@@ -43,6 +43,8 @@ _METHOD_CLASSES: Dict[str, str] = {
     "seq_write": "write", "random_write": "write",
     "create": "meta", "delete": "meta", "open": "meta",
     "get_info": "meta", "get_block_map": "meta",
+    "stat": "meta", "find": "meta",
+    "mopen": "meta", "mstat": "meta", "mcreate": "meta", "mdelete": "meta",
     "list_read": "tool", "list_write": "tool",
     "parallel_open": "parallel", "parallel_read": "parallel",
     "parallel_write": "parallel", "parallel_close": "parallel",

@@ -27,6 +27,13 @@ from repro.workloads.files import (
     build_text_file,
     read_file,
 )
+from repro.workloads.scratch import (
+    ScratchReport,
+    scratch_block,
+    scratch_messages,
+    scratch_names,
+)
+from repro.workloads.trees import build_tree, tree_block, tree_names
 
 __all__ = [
     "acceptance_driver",
@@ -34,15 +41,22 @@ __all__ = [
     "build_file",
     "build_record_file",
     "build_text_file",
+    "build_tree",
     "few_distinct_keys",
     "pattern_chunks",
     "read_file",
     "record_chunks",
     "reversed_keys",
+    "scratch_block",
+    "scratch_messages",
+    "scratch_names",
     "sorted_keys",
     "text_chunks",
+    "tree_block",
+    "tree_names",
     "uniform_keys",
     "ReplayResult",
+    "ScratchReport",
     "hotspot_pattern",
     "random_trace",
     "replay_trace",

@@ -1,0 +1,144 @@
+"""The scratch-file-as-message workload (S23).
+
+"Large Scale Parallelization Using File-Based Communications" passes
+messages between jobs as small files: a producer creates a file, a
+consumer reads it once and deletes it.  At scale that is a pure
+metadata storm — thousands of creates, stats, and deletes against tiny
+payloads — which is exactly the traffic the S23 batched surface exists
+for, and exactly what the block-streaming benches never exercise.
+
+:func:`scratch_messages` drives N producers and M consumers over one
+system.  Producers create their whole mailbox in one ``mcreate`` batch
+and then write payloads; consumers poll with ``find``, gate readiness
+on ``mstat`` (a message is ready once its payload is fully written —
+the directory's ``total_blocks`` is updated by every write through the
+server), read each ready message once, and retire it with one
+``mdelete`` batch.  Producer mailboxes are partitioned across consumers
+so every message is read exactly once, deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Timeout, join_all
+
+
+@dataclass
+class ScratchReport:
+    """Aggregate outcome of one scratch-message run."""
+
+    produced: int
+    consumed: int
+    freed_blocks: int
+    errors: int
+    polls: int
+    elapsed: float
+
+    @property
+    def complete(self) -> bool:
+        return self.errors == 0 and self.consumed == self.produced
+
+
+def scratch_block(name: str, block: int) -> bytes:
+    """One message block, derivable from its address for verification."""
+    return f"{name}#{block}|".encode()
+
+
+def scratch_names(prefix: str, producer: int, count: int):
+    """The deterministic mailbox of one producer."""
+    return [f"{prefix}/p{producer}/m{index:04d}" for index in range(count)]
+
+
+def scratch_messages(system, producers: int = 2, consumers: int = 2,
+                     messages_per_producer: int = 6, payload_blocks: int = 1,
+                     prefix: str = "mq", poll_interval: float = 0.02):
+    """Generator: run the full produce/consume cycle; returns a
+    :class:`ScratchReport`.  Drive with ``system.run(...)`` or spawn it
+    next to other traffic (e.g. a live ``resize_fabric`` sweep)."""
+    sim = system.sim
+    started = sim.now
+    lfs_count = len(system.bridges[0].lfs)
+
+    def producer(index):
+        # One client per process: a client is one reply mailbox.
+        client = system.naive_client()
+        names = scratch_names(prefix, index, messages_per_producer)
+        outcomes = yield from client.mcreate(
+            names, width=1, node_slots=[index % lfs_count]
+        )
+        for outcome in outcomes:
+            outcome.unwrap()
+        for name in names:
+            for block in range(payload_blocks):
+                yield from client.seq_write(name, scratch_block(name, block))
+        return len(names)
+
+    def consumer(index):
+        client = system.naive_client()
+        todo = {
+            p: messages_per_producer
+            for p in range(producers) if p % consumers == index
+        }
+        consumed = freed = errors = polls = 0
+        while any(remaining > 0 for remaining in todo.values()):
+            progressed = False
+            for p, remaining in sorted(todo.items()):
+                if remaining <= 0:
+                    continue
+                names = yield from client.find(f"{prefix}/p{p}/")
+                if not names:
+                    continue
+                stats = yield from client.mstat(names)
+                ready = [
+                    outcome.value.name for outcome in stats
+                    if outcome.ok
+                    and outcome.value.total_blocks >= payload_blocks
+                ]
+                if not ready:
+                    continue
+                for name in ready:
+                    chunks = yield from client.read_all(name)
+                    if len(chunks) < payload_blocks:
+                        errors += 1
+                        continue
+                    for block, chunk in enumerate(chunks):
+                        expected = scratch_block(name, block)
+                        if chunk[: len(expected)] != expected:
+                            errors += 1
+                deletions = yield from client.mdelete(ready)
+                for deletion in deletions:
+                    if deletion.ok:
+                        freed += deletion.value
+                        consumed += 1
+                        todo[p] -= 1
+                    else:
+                        errors += 1
+                progressed = True
+            polls += 1
+            if not progressed:
+                yield Timeout(poll_interval)
+        return consumed, freed, errors, polls
+
+    processes = [
+        system.client_node.spawn(producer(p), name=f"scratch-producer-{p}")
+        for p in range(producers)
+    ]
+    consumer_processes = [
+        system.client_node.spawn(consumer(c), name=f"scratch-consumer-{c}")
+        for c in range(consumers)
+    ]
+    produced_counts = yield join_all(processes)
+    consumer_results = yield join_all(consumer_processes)
+    consumed = sum(result[0] for result in consumer_results)
+    freed = sum(result[1] for result in consumer_results)
+    errors = sum(result[2] for result in consumer_results)
+    polls = sum(result[3] for result in consumer_results)
+    return ScratchReport(
+        produced=sum(produced_counts),
+        consumed=consumed,
+        freed_blocks=freed,
+        errors=errors,
+        polls=polls,
+        elapsed=sim.now - started,
+    )

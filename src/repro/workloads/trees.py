@@ -1,0 +1,64 @@
+"""Deep-tree namespace generation for the parallel utilities (S23).
+
+Bridge's namespace is flat — there are no directories — so a "deep
+tree" is a family of ``/``-separated name prefixes, exactly what
+``pfind`` / ``pcp -r`` / ``prm -r`` walk ("Scalable Unix Commands for
+Parallel Processors" runs its commands over file trees; here the tree
+lives in the names).  :func:`tree_names` is the deterministic namer;
+:func:`build_tree` materializes one through the batched metadata
+surface, which is the workload's point: hundreds of small files whose
+cost is all metadata, not data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def tree_names(root: str = "tree", depth: int = 2, fanout: int = 2,
+               files_per_dir: int = 2) -> List[str]:
+    """Deterministic deep-tree name family.
+
+    Every "directory" level holds ``files_per_dir`` files and (down to
+    ``depth`` levels) ``fanout`` subdirectories, e.g.
+    ``tree/f0``, ``tree/d1/f0``, ``tree/d1/d0/f1`` ...  Total count is
+    ``files_per_dir * (fanout^depth - 1) / (fanout - 1)`` for
+    ``fanout > 1``.
+    """
+    if depth < 1 or fanout < 1 or files_per_dir < 1:
+        raise ValueError("depth, fanout, and files_per_dir must be >= 1")
+    names: List[str] = []
+
+    def walk(prefix: str, level: int) -> None:
+        for index in range(files_per_dir):
+            names.append(f"{prefix}/f{index}")
+        if level < depth:
+            for branch in range(fanout):
+                walk(f"{prefix}/d{branch}", level + 1)
+
+    walk(root, 1)
+    return names
+
+
+def tree_block(name: str, block: int) -> bytes:
+    """The payload of one tree-file block, derivable from its address
+    (so readers can verify content without shared state)."""
+    return f"{name}|b{block}|".encode()
+
+
+def build_tree(client, root: str = "tree", depth: int = 2, fanout: int = 2,
+               files_per_dir: int = 2, payload_blocks: int = 1,
+               width: Optional[int] = None) -> "generator":
+    """Generator: create a whole tree via one ``mcreate`` batch and
+    write ``payload_blocks`` verifiable blocks per file.  Returns the
+    name list.  Drive inside a simulated process
+    (``names = yield from build_tree(client, ...)``)."""
+    names = tree_names(root, depth=depth, fanout=fanout,
+                       files_per_dir=files_per_dir)
+    outcomes = yield from client.mcreate(names, width=width)
+    for outcome in outcomes:
+        outcome.unwrap()
+    for name in names:
+        for block in range(payload_blocks):
+            yield from client.seq_write(name, tree_block(name, block))
+    return names

@@ -256,3 +256,69 @@ def test_build_report_validates_ps():
 
     with pytest.raises(ValueError):
         build_report(ps=())
+
+
+# ---------------------------------------------------------------------------
+# S23: batched metadata RPC model
+# ---------------------------------------------------------------------------
+
+
+def test_metadata_buckets_cover_every_name():
+    from repro.analysis import metadata_partition_buckets
+
+    names = [f"m-{i}" for i in range(40)]
+    buckets = metadata_partition_buckets(names, 4)
+    assert sum(buckets.values()) == len(names)
+    assert set(buckets) <= {0, 1, 2, 3}
+    # single partition: everything lands in bucket 0
+    assert metadata_partition_buckets(names, 1) == {0: len(names)}
+
+
+def test_metadata_buckets_follow_a_custom_ring():
+    from repro.analysis import metadata_partition_buckets
+    from repro.elastic.ring import ConsistentHashRing
+
+    names = [f"m-{i}" for i in range(24)]
+    ring = ConsistentHashRing(3, seed=9)
+    buckets = metadata_partition_buckets(names, 3, ring=ring)
+    expected = {}
+    for name in names:
+        partition = ring.partition_of(name)
+        expected[partition] = expected.get(partition, 0) + 1
+    assert buckets == expected
+
+
+def test_batched_rpc_count_windows():
+    import math
+
+    from repro.analysis import batched_rpc_count, metadata_partition_buckets
+
+    names = [f"m-{i}" for i in range(50)]
+    buckets = metadata_partition_buckets(names, 4)
+    # window 0 = unbounded: one RPC per touched partition
+    assert batched_rpc_count(names, 4, window=0) == len(buckets)
+    for window in (1, 3, 7, 16, 100):
+        assert batched_rpc_count(names, 4, window=window) == sum(
+            math.ceil(count / window) for count in buckets.values()
+        )
+    # window 1 degenerates to the per-name count
+    assert batched_rpc_count(names, 4, window=1) == len(names)
+
+
+def test_metadata_rpc_counts_package():
+    from repro.analysis import metadata_rpc_counts
+
+    names = [f"m-{i}" for i in range(12)]
+    counts = metadata_rpc_counts(names, 2, window=5)
+    assert counts["per_name"] == 12
+    assert counts["partitions_touched"] <= 2
+    assert counts["batched"] <= counts["per_name"]
+
+
+def test_metadata_model_validates_arguments():
+    from repro.analysis import batched_rpc_count, metadata_partition_buckets
+
+    with pytest.raises(ValueError):
+        metadata_partition_buckets(["x"], 0)
+    with pytest.raises(ValueError):
+        batched_rpc_count(["x"], 2, window=-1)

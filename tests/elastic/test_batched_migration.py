@@ -1,0 +1,248 @@
+"""S23 x S22: batched metadata ops against a live resize sweep.
+
+A batch is split against the forwarding net when it arrives at a server
+that no longer (or does not yet) own some of its names: local names are
+served in place, moved names are chased with singleton ops from a
+detached side process.  These tests drive every batched op across a
+mid-flight ``resize_fabric`` and assert the safety story: no name is
+lost, misrouted, or double-applied; a stale-ring client's batch is
+redirected rather than failed; a bad name inside a straddling batch
+still settles as a per-name error while its batchmates succeed.
+"""
+
+from repro.core import BridgeClient
+from repro.elastic.plan import plan_resize
+from repro.errors import BridgeFileNotFoundError
+from repro.harness.builders import BridgeSystem
+from repro.sim import Timeout
+from repro.storage import FixedLatency
+
+BLOCKS = 4
+
+
+def make_elastic(servers=2, provisioned=4, seed=23, **kwargs):
+    return BridgeSystem(
+        4, seed=seed, disk_latency=FixedLatency(0.0005),
+        bridge_server_count=servers, elastic=provisioned, **kwargs,
+    )
+
+
+def data(name, block):
+    return f"{name}/b{block}|".encode()
+
+
+def populate(system, names):
+    client = system.naive_client()
+
+    def body():
+        for name in names:
+            yield from client.create(name)
+            yield from client.write_all(
+                name, [data(name, block) for block in range(BLOCKS)]
+            )
+
+    system.run(body())
+    return client
+
+
+def owners(system, names):
+    return {
+        name: [
+            index for index, bridge in enumerate(system.bridges)
+            if bridge.directory.exists(name)
+        ]
+        for name in names
+    }
+
+
+def assert_routed_exactly(system, names):
+    for name, holders in owners(system, names).items():
+        assert holders == [system.fabric.partition_of(name)], (name, holders)
+
+
+NAMES = [f"bmig-{i:03d}" for i in range(16)]
+
+
+# ---------------------------------------------------------------------------
+# Batched reads under a moving namespace
+# ---------------------------------------------------------------------------
+
+
+def test_batched_stats_survive_a_resize_in_flight():
+    """mstat/mopen batches issued continuously while the ring flips and
+    the throttled sweep relocates files: every outcome settles ok, with
+    the right shape, on every poll."""
+    system = make_elastic(servers=2)
+    populate(system, NAMES)
+    polls = []
+
+    def poller():
+        client = system.partitioned_client()
+        for _ in range(8):
+            stats = yield from client.mstat(NAMES)
+            opens = yield from client.mopen(NAMES)
+            assert [outcome.name for outcome in stats] == NAMES
+            for outcome in stats + opens:
+                assert outcome.ok, (outcome.name, outcome.error)
+                assert outcome.value.total_blocks == BLOCKS
+            polls.append(1)
+            yield Timeout(0.02)
+
+    def driver():
+        system.client_node.spawn(poller(), name="poller")
+        return (
+            yield from system.resize_fabric(4, moves_per_second=100.0)
+        )
+
+    report = system.run(driver())
+    assert report.moved == report.planned > 0
+    assert len(polls) == 8
+    assert_routed_exactly(system, NAMES)
+
+
+def test_mdelete_mid_sweep_applies_exactly_once():
+    """Half the namespace is batch-deleted while the sweep runs: deleted
+    names vanish everywhere (not lost, not duplicated, not revived by a
+    later move), survivors land exactly where the new ring says, and
+    each delete frees its blocks exactly once."""
+    system = make_elastic(servers=2)
+    populate(system, NAMES)
+    doomed, kept = NAMES[::2], NAMES[1::2]
+    box = []
+
+    def deleter():
+        client = system.partitioned_client()
+        yield Timeout(0.01)  # after the plan+flip, during the sweep
+        outcomes = yield from client.mdelete(doomed)
+        box.append(outcomes)
+
+    def driver():
+        system.client_node.spawn(deleter(), name="deleter")
+        return (
+            yield from system.resize_fabric(4, moves_per_second=50.0)
+        )
+
+    report = system.run(driver())
+    assert report.moved + report.vanished == report.planned
+    outcomes = box[0]
+    assert all(outcome.ok for outcome in outcomes), [
+        (o.name, o.error) for o in outcomes if not o.ok
+    ]
+    # Exactly once: every delete freed the file's data blocks, and no
+    # partition still holds (or re-acquired) a deleted name.
+    assert [outcome.value for outcome in outcomes] == [BLOCKS] * len(doomed)
+    for name, holders in owners(system, doomed).items():
+        assert holders == [], (name, holders)
+    assert_routed_exactly(system, kept)
+
+
+def test_mcreate_mid_sweep_routes_by_the_new_ring():
+    system = make_elastic(servers=2)
+    populate(system, NAMES)
+    fresh = [f"fresh-{i:02d}" for i in range(8)]
+    box = []
+
+    def creator():
+        client = system.partitioned_client()
+        yield Timeout(0.01)
+        outcomes = yield from client.mcreate(fresh, width=1)
+        box.append(outcomes)
+
+    def driver():
+        system.client_node.spawn(creator(), name="creator")
+        return (
+            yield from system.resize_fabric(4, moves_per_second=50.0)
+        )
+
+    system.run(driver())
+    assert all(outcome.ok for outcome in box[0])
+    assert_routed_exactly(system, NAMES + fresh)
+
+
+# ---------------------------------------------------------------------------
+# The forwarding window: stale batches are chased, not failed
+# ---------------------------------------------------------------------------
+
+
+def test_stale_ring_batch_is_chased_through_the_window():
+    """A client still routing by the old ring sends one batch — moved
+    names mixed with names that stayed — to the old owner.  The server
+    serves the stayers locally and chases the movers through its
+    redirects; the client sees one fully-settled batch."""
+    system = make_elastic(servers=2)
+    populate(system, NAMES)
+    old_ring = system.fabric.ring
+    report = system.run(system.resize_fabric(4, forward_window=None))
+    moves = [m for m in report.plan.moves if old_ring.partition_of(m.name) == 0]
+    assert moves, "plan moved nothing off partition 0"
+    stayed = [name for name in NAMES
+              if old_ring.partition_of(name) == 0
+              and system.fabric.partition_of(name) == 0]
+    batch = [moves[0].name] + stayed + [m.name for m in moves[1:]]
+
+    stale = BridgeClient(system.client_node, system.bridges[0].port)
+
+    def body():
+        return (yield from stale.mopen(batch))
+
+    outcomes = system.run(body())
+    assert [outcome.name for outcome in outcomes] == batch
+    for outcome in outcomes:
+        assert outcome.ok, (outcome.name, outcome.error)
+        assert outcome.value.total_blocks == BLOCKS
+    assert system.bridges[0].forwarded >= len(moves)
+
+
+def test_straddling_batch_reports_per_name_errors():
+    """A stale batch that straddles the window *and* carries a missing
+    name: the moved names chase to their new owner, the local names are
+    served, and only the missing name settles as an error."""
+    system = make_elastic(servers=2)
+    populate(system, NAMES)
+    old_ring = system.fabric.ring
+    report = system.run(system.resize_fabric(4, forward_window=None))
+    moved = [m.name for m in report.plan.moves
+             if old_ring.partition_of(m.name) == 0]
+    stayed = [name for name in NAMES
+              if old_ring.partition_of(name) == 0
+              and system.fabric.partition_of(name) == 0]
+    assert moved and stayed
+    batch = moved[:1] + ["straddle-missing"] + stayed[:2] + moved[1:2]
+
+    stale = BridgeClient(system.client_node, system.bridges[0].port)
+
+    def body():
+        return (yield from stale.mstat(batch))
+
+    outcomes = system.run(body())
+    by_name = {outcome.name: outcome for outcome in outcomes}
+    assert isinstance(by_name["straddle-missing"].error,
+                      BridgeFileNotFoundError)
+    for name in batch:
+        if name != "straddle-missing":
+            assert by_name[name].ok, (name, by_name[name].error)
+
+
+def test_batched_delete_through_stale_route_frees_once():
+    """mdelete sent to the old owner of moved names: the chase deletes
+    at the new owner, frees exactly the file's blocks, and leaves no
+    replica behind on any partition."""
+    system = make_elastic(servers=2)
+    populate(system, NAMES)
+    old_ring = system.fabric.ring
+    report = system.run(system.resize_fabric(4, forward_window=None))
+    moved = [m.name for m in report.plan.moves
+             if old_ring.partition_of(m.name) == 0]
+    assert moved
+
+    stale = BridgeClient(system.client_node, system.bridges[0].port)
+
+    def body():
+        return (yield from stale.mdelete(moved))
+
+    outcomes = system.run(body())
+    for outcome in outcomes:
+        assert outcome.ok, (outcome.name, outcome.error)
+        assert outcome.value == BLOCKS
+    for name, holders in owners(system, moved).items():
+        assert holders == [], (name, holders)

@@ -1,0 +1,171 @@
+"""The S23 parallel-utilities family: pfind / pcp -r / prm -r and the
+scratch-file-as-message workload, over deep trees built through the
+batched metadata surface.  This file is also the CI tools smoke."""
+
+from repro.config import DEFAULT_CONFIG
+from repro.tools import PCopyTool, PFindTool, PRemoveTool
+from repro.workloads import (
+    build_tree,
+    scratch_messages,
+    tree_block,
+    tree_names,
+)
+
+from .conftest import make_system
+
+DEPTH, FANOUT, FILES_PER_DIR, PAYLOAD = 3, 2, 2, 2
+
+
+def make_tree_system(**kwargs):
+    system = make_system(4, bridge_server_count=4, **kwargs)
+    client = system.partitioned_client()
+    names = system.run(build_tree(
+        client, root="tree", depth=DEPTH, fanout=FANOUT,
+        files_per_dir=FILES_PER_DIR, payload_blocks=PAYLOAD,
+    ))
+    return system, client, names
+
+
+def tool(cls, system):
+    return cls(system.client_node, system.fabric, DEFAULT_CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# The tree namer
+# ---------------------------------------------------------------------------
+
+
+def test_tree_names_shape():
+    names = tree_names("r", depth=3, fanout=2, files_per_dir=2)
+    # files_per_dir * (fanout^depth - 1) / (fanout - 1)
+    assert len(names) == 2 * (2 ** 3 - 1)
+    assert len(set(names)) == len(names)
+    assert all(name.startswith("r/") for name in names)
+    # every level is populated
+    assert "r/f0" in names and "r/d1/f1" in names and "r/d0/d1/f0" in names
+
+
+def test_tree_names_validates_arguments():
+    import pytest
+
+    with pytest.raises(ValueError):
+        tree_names("r", depth=0)
+    with pytest.raises(ValueError):
+        tree_names("r", fanout=0)
+
+
+# ---------------------------------------------------------------------------
+# pfind
+# ---------------------------------------------------------------------------
+
+
+def test_pfind_lists_and_stats_the_whole_tree():
+    system, _, names = make_tree_system()
+    result = system.run(tool(PFindTool, system).run("tree/"))
+    assert result.names == sorted(names)
+    assert len(result.stats) == len(names)
+    assert result.missing == []
+    assert result.total_blocks == PAYLOAD * len(names)
+    # stats arrive in listing order with per-file shapes
+    assert [stat.name for stat in result.stats] == result.names
+
+
+def test_pfind_scopes_by_prefix():
+    system, _, names = make_tree_system()
+    subtree = [name for name in names if name.startswith("tree/d0/")]
+    result = system.run(tool(PFindTool, system).run("tree/d0/"))
+    assert result.names == sorted(subtree)
+
+
+# ---------------------------------------------------------------------------
+# pcp -r
+# ---------------------------------------------------------------------------
+
+
+def test_pcp_copies_the_subtree_with_one_worker_per_node():
+    system, client, names = make_tree_system()
+    result = system.run(tool(PCopyTool, system).run("tree", "copy"))
+    assert result.files == len(names)
+    assert result.total_blocks == PAYLOAD * len(names)
+    # worker count is O(LFS nodes), not O(files)
+    assert len(result.workers) <= 4
+    assert sum(report.blocks for report in result.workers) == PAYLOAD * len(names)
+
+    # byte-identical content at the mirrored names
+    def verify():
+        for name in names:
+            chunks = yield from client.read_all("copy" + name[len("tree"):])
+            for block, chunk in enumerate(chunks):
+                expected = tree_block(name, block)
+                assert chunk[: len(expected)] == expected, (name, block)
+
+    system.run(verify())
+
+
+def test_pcp_preserves_placement_shape():
+    system, client, names = make_tree_system()
+    system.run(tool(PCopyTool, system).run("tree", "copy"))
+
+    def shapes():
+        out = []
+        for name in names[:4]:
+            src = yield from client.open(name)
+            dst = yield from client.open("copy" + name[len("tree"):])
+            out.append((src, dst))
+        return out
+
+    for src, dst in system.run(shapes()):
+        assert (src.width, src.start) == (dst.width, dst.start)
+        assert ([c.node_index for c in src.constituents]
+                == [c.node_index for c in dst.constituents])
+
+
+def test_pcp_on_an_empty_prefix_is_a_noop():
+    system, _, _ = make_tree_system()
+    result = system.run(tool(PCopyTool, system).run("nope", "copy"))
+    assert (result.files, result.total_blocks, result.workers) == (0, 0, [])
+
+
+# ---------------------------------------------------------------------------
+# prm -r
+# ---------------------------------------------------------------------------
+
+
+def test_prm_removes_the_subtree_and_reports_freed_blocks():
+    system, client, names = make_tree_system()
+    result = system.run(tool(PRemoveTool, system).run("tree/d0/"))
+    doomed = {name for name in names if name.startswith("tree/d0/")}
+    assert set(result.removed) == doomed
+    assert result.freed_blocks == PAYLOAD * len(doomed)
+    assert result.errors == []
+
+    survivors = system.run(tool(PFindTool, system).run("tree/")).names
+    assert survivors == sorted(set(names) - doomed)
+
+
+# ---------------------------------------------------------------------------
+# scratch files as messages
+# ---------------------------------------------------------------------------
+
+
+def test_scratch_messages_every_message_read_once_and_deleted():
+    system = make_system(4, bridge_server_count=2)
+    report = system.run(scratch_messages(
+        system, producers=3, consumers=2, messages_per_producer=4,
+        payload_blocks=2,
+    ))
+    assert report.complete, report
+    assert report.produced == report.consumed == 12
+    assert report.freed_blocks == 2 * 12
+    # the mailboxes are empty afterwards
+    leftovers = system.run(tool(PFindTool, system).run("mq/"))
+    assert leftovers.names == []
+
+
+def test_scratch_messages_single_partition():
+    system = make_system(4)
+    report = system.run(scratch_messages(
+        system, producers=2, consumers=1, messages_per_producer=3,
+    ))
+    assert report.complete, report
+    assert report.freed_blocks == 6
