@@ -1,0 +1,172 @@
+"""S24 — load-aware rebalancing: heat-driven arc shedding off vs on.
+
+Both arms drive the same Zipf-skewed S21 open-loop mix at 4 partitions
+over the consistent-hash fabric, with the heat map installed and the
+control loop sweeping; the *static* arm runs the loop ``watch_only`` (it
+records the identical imbalance trajectory but never acts) while the
+*rebalance* arm lets the policy shed hot arcs through the live migration
+sweep.  The diff between the arms is therefore exactly the policy's
+effect.  The check asserts the S24 headline — the rebalancer narrows the
+hot/cold partition busy-fraction spread, improves goodput (mixed-
+workload speedup toward the route bound) and read p99, and raises the
+popularity-weighted route bound of the final ring — and the safety
+claim: zero lost, misrouted, or duplicated files, routed-vs-direct
+byte-identical read-back, and clean fsck across every automatic sweep.
+
+Also runnable as a script (the CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_rebalance.py --quick
+"""
+
+import sys
+
+from _emit import write_bench_json
+from repro.analysis import format_table
+from repro.harness.experiments import run_rebalance_experiment
+
+RATE = 150.0
+DURATION = 16.0
+QUICK_DURATION = 8.0
+SERVERS = 4
+SKEW = 1.2
+SEED = 7
+
+#: (label, active) — identical traffic, policy watching vs acting.
+ARMS = (("static", False), ("rebalance", True))
+
+
+def sweep(quick: bool = False):
+    duration = QUICK_DURATION if quick else DURATION
+    return {
+        label: run_rebalance_experiment(
+            rate=RATE, duration=duration, servers=SERVERS, skew=SKEW,
+            seed=SEED, active=active,
+        )
+        for label, active in ARMS
+    }
+
+
+def check(runs, quick: bool = False) -> None:
+    static, rebalance = runs["static"], runs["rebalance"]
+    # The arms are what they claim: watcher never acts, policy does.
+    assert not static.active and static.actions == 0, static.sweeps
+    assert rebalance.active and rebalance.actions >= 1, rebalance.sweeps
+    assert rebalance.moves >= 1 and rebalance.arcs_shed >= 1
+    # Safety across every automatic sweep: ownership scan, duplicate
+    # scan, routed-vs-direct byte compare, and EFS fsck all clean.
+    for label, run in runs.items():
+        assert run.lost == 0, (label, run.lost)
+        assert run.misrouted == 0, (label, run.misrouted)
+        assert run.duplicated == 0, (label, run.duplicated)
+        assert run.content_mismatched == 0, (label, run.content_mismatched)
+        assert run.fsck_clean, label
+        assert int(run.summary["completed"]) > 0, label
+        assert int(run.summary["failed"]) == 0, (label, run.summary)
+    # The headline: shedding hot arcs narrows the hot/cold busy spread...
+    assert rebalance.utilization_spread < static.utilization_spread, (
+        rebalance.busy_fractions, static.busy_fractions
+    )
+    # ...and the final ring's popularity-weighted route bound moved
+    # toward the perfect SERVERS bound (the static arm's never changes).
+    assert static.route_bound_final == static.route_bound_static
+    assert rebalance.route_bound_final > rebalance.route_bound_static, (
+        rebalance.route_bound_static, rebalance.route_bound_final
+    )
+    if quick:
+        # The short smoke run stops before the migration cost amortizes;
+        # the latency/goodput headline is a full-duration claim.
+        return
+    # ...recovers mixed-workload speedup (goodput at equal offered load)
+    # and read latency.
+    assert rebalance.goodput > static.goodput, (
+        rebalance.goodput, static.goodput
+    )
+    assert rebalance.p99("read") < static.p99("read"), (
+        rebalance.p99("read"), static.p99("read")
+    )
+
+
+def render(runs) -> str:
+    rows = []
+    for label, run in runs.items():
+        rows.append([
+            label,
+            run.actions,
+            run.moves,
+            run.arcs_shed,
+            round(run.utilization_spread, 3),
+            round(run.final_imbalance, 2),
+            round(run.goodput, 1),
+            round(run.p99("read") * 1e3, 1),
+            round(run.route_bound_final, 2),
+            "intact" if run.files_intact and run.fsck_clean else "DAMAGED",
+        ])
+    return format_table(
+        ["arm", "actions", "moves", "arcs", "busy spread", "imbalance",
+         "goodput", "read p99 ms", "route bound", "files"],
+        rows,
+        title=(f"load-aware rebalancing, {RATE:g} req/s, zipf {SKEW:g}, "
+               f"{SERVERS} partitions, seed {SEED}"),
+    )
+
+
+def to_json(runs) -> dict:
+    arms = {}
+    for label, run in runs.items():
+        arms[label] = {
+            "active": run.active,
+            "sweeps": run.sweeps,
+            "actions": run.actions,
+            "moves": run.moves,
+            "arcs_shed": run.arcs_shed,
+            "busy_fractions": run.busy_fractions,
+            "utilization_spread": run.utilization_spread,
+            "final_imbalance": run.final_imbalance,
+            "route_bound_static": run.route_bound_static,
+            "route_bound_final": run.route_bound_final,
+            "goodput": run.goodput,
+            "read_p99_ms": run.p99("read") * 1e3,
+            "read_p99_trajectory_ms": [
+                p99 * 1e3 for p99 in run.p99_trajectory("read")
+            ],
+            "summary": run.summary,
+            "lost": run.lost,
+            "misrouted": run.misrouted,
+            "duplicated": run.duplicated,
+            "content_mismatched": run.content_mismatched,
+            "fsck_clean": run.fsck_clean,
+            "makespan": run.makespan,
+        }
+    return {
+        "rate": RATE,
+        "duration": DURATION,
+        "servers": SERVERS,
+        "skew": SKEW,
+        "seed": SEED,
+        "arms": arms,
+    }
+
+
+def test_rebalance_ablation(benchmark):
+    from benchmarks.conftest import emit, run_once
+
+    runs = run_once(benchmark, sweep)
+    emit("ablation_rebalance", render(runs))
+    write_bench_json("rebalance", to_json(runs))
+    check(runs)
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    runs = sweep(quick=quick)
+    print(render(runs))
+    if not quick:
+        write_bench_json("rebalance", to_json(runs))
+    check(runs, quick=quick)
+    print("rebalance ablation: all assertions passed"
+          + (" (quick mode)" if quick else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -38,9 +38,17 @@ SERVER_COUNTS = (1, 2, 4)
 
 
 def run_mixed(servers: int, clients: int = CLIENTS,
-              blocks: int = BLOCKS, seed: int = 73) -> dict:
-    """One arm: ``clients`` concurrent mixed-workload naive clients."""
-    system = BridgeSystem(4, seed=seed, bridge_server_count=servers)
+              blocks: int = BLOCKS, seed: int = 73,
+              ring: bool = False) -> dict:
+    """One arm: ``clients`` concurrent mixed-workload naive clients.
+
+    ``ring=True`` routes over the S22 consistent-hash ring instead of
+    the static modulo table — same fabric, same workload, different
+    name-to-partition map (and therefore a different load-balance
+    bound, computed from the actual ring arcs).
+    """
+    system = BridgeSystem(4, seed=seed, bridge_server_count=servers,
+                          elastic=True if ring else None)
     names = [f"c{i}" for i in range(clients)]
     moved = [0]
 
@@ -77,10 +85,14 @@ def run_mixed(servers: int, clients: int = CLIENTS,
         "servers": servers,
         "clients": clients,
         "blocks": blocks,
+        "routing": "ring" if ring else "modulo",
         "makespan_seconds": makespan,
         "blocks_moved": moved[0],
         "throughput_blocks_per_second": moved[0] / makespan,
-        "route_bound": fabric_speedup_bound(names, servers),
+        "route_bound": fabric_speedup_bound(
+            names, servers,
+            ring=system.fabric.ring if ring else None,
+        ),
     }
 
 
@@ -88,13 +100,16 @@ def sweep(quick: bool = False):
     if quick:
         # 8 client names hash 4/4 over two partitions, so even the smoke
         # arm has real routing parallelism to show.
-        return [run_mixed(servers, clients=8, blocks=4)
-                for servers in (1, 2)]
-    return [run_mixed(servers) for servers in SERVER_COUNTS]
+        return ([run_mixed(servers, clients=8, blocks=4)
+                 for servers in (1, 2)]
+                + [run_mixed(2, clients=8, blocks=4, ring=True)])
+    return ([run_mixed(servers) for servers in SERVER_COUNTS]
+            + [run_mixed(SERVER_COUNTS[-1], ring=True)])
 
 
 def check(rows) -> None:
     base = rows[0]
+    modulo = [row for row in rows if row["routing"] == "modulo"]
     for row in rows:
         # Same logical work in every arm; only the makespan moves.
         assert row["blocks_moved"] == base["blocks_moved"], row
@@ -104,10 +119,17 @@ def check(rows) -> None:
         assert speedup <= row["route_bound"] + 1e-9, (speedup, row)
     # Aggregate naive-view throughput improves monotonically with the
     # partition count — the central server was the bottleneck.
-    throughputs = [row["throughput_blocks_per_second"] for row in rows]
+    throughputs = [row["throughput_blocks_per_second"] for row in modulo]
     assert all(b > a for a, b in zip(throughputs, throughputs[1:])), throughputs
-    if len(rows) >= 3:
-        assert rows[0]["makespan_seconds"] / rows[-1]["makespan_seconds"] > 1.6
+    if len(modulo) >= 3:
+        assert (modulo[0]["makespan_seconds"]
+                / modulo[-1]["makespan_seconds"]) > 1.6
+    # The ring arm really parallelizes too: it beats the single-server
+    # arm, within its own (arc-derived) route bound.
+    for row in rows:
+        if row["routing"] != "ring":
+            continue
+        assert base["makespan_seconds"] / row["makespan_seconds"] > 1.0, row
 
 
 def render(rows) -> str:
@@ -115,6 +137,7 @@ def render(rows) -> str:
     table_rows = [
         [
             row["servers"],
+            row["routing"],
             row["makespan_seconds"],
             row["throughput_blocks_per_second"],
             base["makespan_seconds"] / row["makespan_seconds"],
@@ -123,7 +146,8 @@ def render(rows) -> str:
         for row in rows
     ]
     return format_table(
-        ["bridge servers", "makespan (s)", "blocks/s", "speedup", "route bound"],
+        ["bridge servers", "routing", "makespan (s)", "blocks/s", "speedup",
+         "route bound"],
         table_rows,
         title=(
             f"{base['clients']} concurrent naive clients, mixed workload "
@@ -148,7 +172,18 @@ def to_json(rows) -> dict:
                 "speedup": base["makespan_seconds"] / row["makespan_seconds"],
                 "route_bound": row["route_bound"],
             }
-            for row in rows
+            for row in rows if row["routing"] == "modulo"
+        },
+        "ring": {
+            str(row["servers"]): {
+                "makespan_seconds": row["makespan_seconds"],
+                "blocks_moved": row["blocks_moved"],
+                "throughput_blocks_per_second":
+                    row["throughput_blocks_per_second"],
+                "speedup": base["makespan_seconds"] / row["makespan_seconds"],
+                "route_bound": row["route_bound"],
+            }
+            for row in rows if row["routing"] == "ring"
         },
     }
 

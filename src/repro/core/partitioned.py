@@ -47,6 +47,10 @@ def partition_of(name: str, partitions: int) -> int:
         (``crc32 mod k``, the seed map) and exists only for callers that
         predate the ring abstraction.  Use ``fabric.partition_of`` — or
         a ring directly — so resizes route through one source of truth.
+
+        As of S24 no internal caller remains (the delegation test in
+        ``tests/elastic/test_ring.py`` pins the equivalence); this shim
+        is scheduled for removal in a future PR.
     """
     return ModuloRing(partitions).partition_of(name)
 

@@ -23,6 +23,7 @@ Entry point for experiments: ``BridgeSystem(..., elastic=N)`` then
 from repro.elastic.migrate import FabricResizer, MigrationReport
 from repro.elastic.plan import MigrationPlan, Move, plan_resize
 from repro.elastic.ring import (
+    CIRCLE,
     RING_KINDS,
     ConsistentHashRing,
     ModuloRing,
@@ -31,6 +32,7 @@ from repro.elastic.ring import (
 )
 
 __all__ = [
+    "CIRCLE",
     "ConsistentHashRing",
     "FabricResizer",
     "MigrationPlan",

@@ -73,7 +73,10 @@ class MigrationReport:
             return "grow"
         if self.new_partitions < self.old_partitions:
             return "shrink"
-        return "noop"
+        # S24 weight-only resizes keep the partition count fixed but
+        # still relocate entries; a same-size sweep with no moves is a
+        # true no-op.
+        return "rebalance" if self.planned else "noop"
 
 
 class FabricResizer:
@@ -100,17 +103,34 @@ class FabricResizer:
         Drive inside the running simulation (spawned next to traffic, or
         via ``system.run``); returns a :class:`MigrationReport`.
         """
+        fabric = self.system.fabric
+        if not 1 <= new_count <= len(fabric.servers):
+            raise ValueError(
+                f"new_count {new_count} outside provisioned fabric "
+                f"[1, {len(fabric.servers)}]"
+            )
+        report = yield from self.apply(fabric.ring.with_partitions(new_count))
+        return report
+
+    def apply(self, new_ring):
+        """Generator: migrate the live fabric onto ``new_ring``.
+
+        The general entry point :meth:`resize` delegates to — any ring
+        compatible with the planner works, including the S24 same-size
+        weighted/arc-shed rings, so the rebalancer reuses the exact
+        plan+flip/sweep/retire machinery (and its safety argument) that
+        grows and shrinks do.
+        """
         system = self.system
         fabric = system.fabric
         sim = system.sim
         servers = fabric.servers
-        if not 1 <= new_count <= len(servers):
+        if not 1 <= new_ring.partitions <= len(servers):
             raise ValueError(
-                f"new_count {new_count} outside provisioned fabric "
-                f"[1, {len(servers)}]"
+                f"ring partitions {new_ring.partitions} outside "
+                f"provisioned fabric [1, {len(servers)}]"
             )
         old_ring = fabric.ring
-        new_ring = old_ring.with_partitions(new_count)
         names = set()
         for server in servers:
             names.update(server.directory.names())

@@ -65,25 +65,49 @@ def plan_resize(old_ring, new_ring, names: Iterable[str]) -> MigrationPlan:
 def _assert_minimal_disruption(old_ring, new_ring,
                                plan: MigrationPlan) -> None:
     """Consistent rings sharing a seed may only move names on the
-    reassigned arcs; violations are wiring bugs, not workloads."""
+    reassigned arcs; violations are wiring bugs, not workloads.
+
+    The check is arc-precise: a name may move only if the arc it lived
+    on disappeared from the source's point set (a shrink, a weight cut,
+    or an S24 ``shed_arc``) or the arc it lands on is a *genuine* new
+    arc of the destination (a grow or a weight raise) — genuine meaning
+    the owning point actually equals ``hash64(seed/vnode/dst/v)``, so a
+    corrupted table that hands another partition's arcs to the
+    destination cannot masquerade as growth.  Because the point formula
+    depends only on ``(seed, partition, vnode)``, any other move means a
+    *retained* arc shifted — a routing bug that would silently strand
+    files — which covers grows, shrinks, and S24's same-size weight-only
+    "resizes" with one rule.
+    """
+    from repro.elastic.ring import hash64
+
     if (getattr(old_ring, "kind", None) != "consistent"
             or getattr(new_ring, "kind", None) != "consistent"
             or old_ring.seed != new_ring.seed
             or old_ring.vnodes != new_ring.vnodes):
         return
-    old_k, new_k = old_ring.partitions, new_ring.partitions
-    if new_k > old_k:
-        bad = [move for move in plan.moves if move.dst < old_k]
-        what = f"grow {old_k}->{new_k} moved names to retained partitions"
-    elif new_k < old_k:
-        bad = [move for move in plan.moves if move.src < new_k]
-        what = f"shrink {old_k}->{new_k} moved names from retained partitions"
-    else:
-        bad = plan.moves
-        what = f"same-size plan {old_k}->{new_k} moved names"
+    old_points = old_ring.arc_points()
+    new_points = new_ring.arc_points()
+    empty: frozenset = frozenset()
+    bad = []
+    for move in plan.moves:
+        arc_removed = (
+            old_ring.point_of(move.name) not in new_points.get(move.src, empty)
+        )
+        new_point = new_ring.point_of(move.name)
+        owner, vnode = new_ring.vnode_of(move.name)
+        arc_added = (
+            new_point not in old_points.get(move.dst, empty)
+            and owner == move.dst
+            and hash64(f"{new_ring.seed}/vnode/{owner}/{vnode}") == new_point
+        )
+        if not arc_removed and not arc_added:
+            bad.append(move)
     if bad:
+        old_k, new_k = old_ring.partitions, new_ring.partitions
         sample = ", ".join(f"{m.name}:{m.src}->{m.dst}" for m in bad[:4])
         raise AssertionError(
-            f"minimal-disruption violated: {what} ({len(bad)} moves, "
+            f"minimal-disruption violated: plan {old_k}->{new_k} moved "
+            f"names whose arcs never changed ({len(bad)} moves, "
             f"e.g. {sample})"
         )

@@ -30,7 +30,19 @@ from __future__ import annotations
 import hashlib
 import zlib
 from bisect import bisect_right
-from typing import Callable, Dict, List, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+#: Size of the hash circle (64-bit points).
+CIRCLE = 1 << 64
 
 
 def hash64(key: str) -> int:
@@ -74,33 +86,88 @@ class ConsistentHashRing:
     """Seeded consistent hashing with deterministic virtual nodes.
 
     Partition ``i`` owns the points ``hash64(f"{seed}/vnode/{i}/{v}")``
-    for ``v`` in ``range(vnodes)``; names hash in a separate domain
+    for ``v`` in ``range(weights[i])``; names hash in a separate domain
     (``"name/..."``) so a vnode label can never collide with a file
     name.  Lookup is a binary search over the sorted points with
-    wraparound.  Same ``(partitions, seed, vnodes)`` -> same table, on
-    every client, in every run.
+    wraparound.  Same ``(partitions, seed, vnodes, weights, dropped)``
+    -> same table, on every client, in every run.
+
+    S24 adds two load-shaping dimensions on top of the base ring, both
+    of which preserve the point formula (so every retained arc sits at
+    exactly the same place it always did — the minimal-disruption
+    invariant the planner asserts):
+
+    * ``weights`` — per-partition vnode *counts*.  Partition ``i`` owns
+      vnodes ``0..weights[i]-1``; growing a cold partition's weight
+      claims new arcs from everyone, shrinking a hot partition's weight
+      releases its highest-numbered arcs to whoever is next on the
+      circle.  ``None`` means ``vnodes`` everywhere — byte-identical to
+      the pre-weight ring.
+    * ``dropped`` — a frozen set of ``(partition, vnode)`` pairs removed
+      from the table: the targeted arc-split.  Dropping exactly the arc
+      a hot name lives on sheds *that name* (plus its arc-mates) to the
+      circle successor and nothing else, which is how the S24 rebalancer
+      moves individual hot names without disturbing the namespace.
     """
 
     kind = "consistent"
 
-    __slots__ = ("partitions", "seed", "vnodes", "_points", "_owners")
+    __slots__ = ("partitions", "seed", "vnodes", "weights", "dropped",
+                 "_points", "_owners", "_vnode_ids")
 
-    def __init__(self, partitions: int, seed: int = 0, vnodes: int = 64) -> None:
+    def __init__(self, partitions: int, seed: int = 0, vnodes: int = 64,
+                 weights: Optional[Sequence[int]] = None,
+                 dropped: Optional[Iterable[Tuple[int, int]]] = None) -> None:
         if partitions < 1:
             raise ValueError("need at least one partition")
         if vnodes < 1:
             raise ValueError("need at least one virtual node per partition")
+        if weights is None:
+            weights = (vnodes,) * partitions
+        else:
+            weights = tuple(int(w) for w in weights)
+            if len(weights) != partitions:
+                raise ValueError(
+                    f"weights has {len(weights)} entries for "
+                    f"{partitions} partitions"
+                )
+            if any(w < 1 for w in weights):
+                raise ValueError("every partition needs weight >= 1")
+        dropped = frozenset(dropped) if dropped else frozenset()
+        for partition, vnode in dropped:
+            if not 0 <= partition < partitions:
+                raise ValueError(f"dropped arc names partition {partition} "
+                                 f"outside [0, {partitions})")
+            if not 0 <= vnode < weights[partition]:
+                raise ValueError(
+                    f"dropped arc ({partition}, {vnode}) outside partition "
+                    f"weight {weights[partition]}"
+                )
         self.partitions = partitions
         self.seed = seed
         self.vnodes = vnodes
-        table: List[Tuple[int, int]] = []
+        self.weights: Tuple[int, ...] = weights
+        self.dropped: FrozenSet[Tuple[int, int]] = dropped
+        table: List[Tuple[int, int, int]] = []
         for partition in range(partitions):
-            for vnode in range(vnodes):
+            for vnode in range(weights[partition]):
+                if (partition, vnode) in dropped:
+                    continue
                 point = hash64(f"{seed}/vnode/{partition}/{vnode}")
-                table.append((point, partition))
+                table.append((point, partition, vnode))
+        counts = [0] * partitions
+        for _point, partition, _vnode in table:
+            counts[partition] += 1
+        for partition, count in enumerate(counts):
+            if count == 0:
+                raise ValueError(
+                    f"partition {partition} has no arcs left "
+                    f"(weight {weights[partition]}, all dropped)"
+                )
         table.sort()
-        self._points = [point for point, _owner in table]
-        self._owners = [owner for _point, owner in table]
+        self._points = [point for point, _owner, _vnode in table]
+        self._owners = [owner for _point, owner, _vnode in table]
+        self._vnode_ids = [vnode for _point, _owner, vnode in table]
 
     def partition_of(self, name: str) -> int:
         index = bisect_right(self._points, hash64(f"name/{name}"))
@@ -108,15 +175,96 @@ class ConsistentHashRing:
             index = 0
         return self._owners[index]
 
+    # -- S24 load-shaping surface --------------------------------------
+
+    def _owner_index(self, name: str) -> int:
+        index = bisect_right(self._points, hash64(f"name/{name}"))
+        return 0 if index == len(self._points) else index
+
+    def vnode_of(self, name: str) -> Tuple[int, int]:
+        """The ``(partition, vnode)`` arc a name lives on — the handle
+        :meth:`shed_arc` takes to move exactly this name's arc."""
+        index = self._owner_index(name)
+        return self._owners[index], self._vnode_ids[index]
+
+    def point_of(self, name: str) -> int:
+        """The circle point of the arc owning ``name`` (the planner's
+        minimal-disruption check compares these across rings)."""
+        return self._points[self._owner_index(name)]
+
+    def arc_points(self) -> Dict[int, FrozenSet[int]]:
+        """Per-partition frozen sets of owned circle points."""
+        owned: Dict[int, set] = {p: set() for p in range(self.partitions)}
+        for point, owner in zip(self._points, self._owners):
+            owned[owner].add(point)
+        return {p: frozenset(points) for p, points in owned.items()}
+
+    def arc_share(self) -> List[float]:
+        """Fraction of the circle each partition owns (sums to 1.0).
+
+        The arc *ending* at point ``i`` (names in ``(p[i-1], p[i]]``)
+        belongs to that point's owner; the first point also owns the
+        wraparound stretch past the last point.
+        """
+        share = [0] * self.partitions
+        points, owners = self._points, self._owners
+        for index in range(1, len(points)):
+            share[owners[index]] += points[index] - points[index - 1]
+        share[owners[0]] += CIRCLE - points[-1] + points[0]
+        return [s / CIRCLE for s in share]
+
+    def with_weights(self, weights: Sequence[int]) -> "ConsistentHashRing":
+        """The same ring with new per-partition vnode weights (drops on
+        still-present vnodes are preserved)."""
+        weights = tuple(int(w) for w in weights)
+        if len(weights) != self.partitions:
+            raise ValueError(
+                f"weights has {len(weights)} entries for "
+                f"{self.partitions} partitions"
+            )
+        keep = frozenset(
+            (partition, vnode) for partition, vnode in self.dropped
+            if vnode < weights[partition]
+        )
+        return ConsistentHashRing(self.partitions, seed=self.seed,
+                                  vnodes=self.vnodes, weights=weights,
+                                  dropped=keep)
+
+    def shed_arc(self, partition: int, vnode: int) -> "ConsistentHashRing":
+        """The same ring minus one arc: names on ``(partition, vnode)``
+        fall to the next point on the circle (usually a neighbor)."""
+        if (partition, vnode) in self.dropped:
+            raise ValueError(f"arc ({partition}, {vnode}) already dropped")
+        return ConsistentHashRing(
+            self.partitions, seed=self.seed, vnodes=self.vnodes,
+            weights=self.weights, dropped=self.dropped | {(partition, vnode)},
+        )
+
     def with_partitions(self, partitions: int) -> "ConsistentHashRing":
         """The same ring at a different size (same seed and vnode count,
-        so shared partitions keep their exact points)."""
+        so shared partitions keep their exact points — including their
+        weights and dropped arcs; added partitions start at the base
+        weight with nothing dropped)."""
+        if partitions >= self.partitions:
+            weights = self.weights + (self.vnodes,) * (partitions - self.partitions)
+            dropped = self.dropped
+        else:
+            weights = self.weights[:partitions]
+            dropped = frozenset(
+                (p, v) for p, v in self.dropped if p < partitions
+            )
         return ConsistentHashRing(partitions, seed=self.seed,
-                                  vnodes=self.vnodes)
+                                  vnodes=self.vnodes, weights=weights,
+                                  dropped=dropped)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        extra = ""
+        if self.weights != (self.vnodes,) * self.partitions:
+            extra += f", weights={self.weights}"
+        if self.dropped:
+            extra += f", dropped={sorted(self.dropped)}"
         return (f"ConsistentHashRing(partitions={self.partitions}, "
-                f"seed={self.seed}, vnodes={self.vnodes})")
+                f"seed={self.seed}, vnodes={self.vnodes}{extra})")
 
 
 #: Registered ring kinds, by name (``make_ring`` spec strings).

@@ -1,9 +1,14 @@
 """Experiment harness: system builders, runners, and result records."""
 
 from repro.harness.builders import BridgeSystem, build_system, paper_system
-from repro.harness.results import CollectiveRun, ObsRun, TrafficRun
+from repro.harness.results import (
+    CollectiveRun,
+    ObsRun,
+    RebalanceRun,
+    TrafficRun,
+)
 
 __all__ = [
-    "BridgeSystem", "CollectiveRun", "ObsRun", "TrafficRun", "build_system",
-    "paper_system",
+    "BridgeSystem", "CollectiveRun", "ObsRun", "RebalanceRun", "TrafficRun",
+    "build_system", "paper_system",
 ]

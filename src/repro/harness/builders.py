@@ -53,6 +53,7 @@ class BridgeSystem:
         trace_export: Optional[str] = None,
         admission=None,
         elastic=None,
+        rebalance=None,
     ) -> None:
         if lfs_count < 1:
             raise ValueError("a Bridge system needs at least one LFS node")
@@ -67,8 +68,18 @@ class BridgeSystem:
         # grow past its starting count (idle provisioned servers cost
         # nothing in the event sequence until the ring routes to them).
         self.elastic = elastic not in (None, False)
+        # S24: ``rebalance`` installs the heat-driven control plane.
+        # ``None``/``False`` (the default) runs without heat accounting or
+        # a rebalancer — the seed event sequence exactly.  ``True`` uses
+        # the default RebalanceConfig; a RebalanceConfig or a dict of its
+        # fields overrides it.  Rebalancing steers the consistent-hash
+        # ring, so it implies ``elastic`` (a rigid mod-k fabric has no
+        # arcs to shed).
+        self._rebalance_spec = rebalance if rebalance not in (None, False) else None
+        if self._rebalance_spec is not None and not self.elastic:
+            self.elastic = True
         provisioned = bridge_server_count
-        if self.elastic and elastic is not True:
+        if self.elastic and elastic not in (None, False, True):
             provisioned = int(elastic)
             if provisioned < bridge_server_count:
                 raise ValueError(
@@ -159,6 +170,33 @@ class BridgeSystem:
 
             ring = ConsistentHashRing(bridge_server_count, seed=seed)
         self.fabric = PartitionedBridge(self.bridges, ring=ring)
+
+        # S24 load-aware rebalancing: heat accounting on every bridge
+        # (a seam in the base server loop — no events scheduled) plus
+        # the policy process, built but not started; experiments spawn
+        # ``system.rebalancer.run(duration)`` next to their traffic.
+        self.heat = None
+        self.rebalancer = None
+        if self._rebalance_spec is not None:
+            from repro.rebalance import HeatMap, RebalanceConfig, Rebalancer
+
+            spec = self._rebalance_spec
+            if spec is True:
+                rb_config = RebalanceConfig()
+            elif isinstance(spec, RebalanceConfig):
+                rb_config = spec
+            elif isinstance(spec, dict):
+                rb_config = RebalanceConfig(**spec)
+            else:
+                raise ValueError(
+                    f"rebalance= takes True, a RebalanceConfig, or a dict "
+                    f"of its fields, not {spec!r}"
+                )
+            self.heat = HeatMap(len(self.bridges))
+            for index, bridge in enumerate(self.bridges):
+                bridge.heat = self.heat
+                bridge.heat_partition = index
+            self.rebalancer = Rebalancer(self, self.heat, config=rb_config)
 
         # Redundancy scheme knob (S16): every experiment can run the same
         # workload unprotected, mirrored (2x), or parity-protected

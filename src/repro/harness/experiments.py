@@ -1190,9 +1190,48 @@ def run_elastic_experiment(
     }
     report = report_box["report"]
 
-    # ---- safety oracle (quiesced) ------------------------------------
+    oracle = fabric_safety_oracle(system, list(catalog.names))
+
+    return ElasticRun(
+        direction=report.direction,
+        p=p,
+        start_servers=start_servers,
+        end_servers=end_servers,
+        provisioned=provisioned,
+        offered_rate=rate,
+        phase_duration=duration,
+        files=files,
+        planned=report.planned,
+        moved=report.moved,
+        vanished=report.vanished,
+        forwarded=report.forwarded,
+        disruption=report.plan.disruption,
+        migration_seconds=report.duration,
+        moves_per_second=moves_per_second,
+        phases=phases,
+        lost=oracle["lost"],
+        misrouted=oracle["misrouted"],
+        duplicated=oracle["duplicated"],
+        content_mismatched=oracle["content_mismatched"],
+        fsck_clean=oracle["fsck_clean"],
+        makespan=system.sim.now,
+        events=system.sim.events_executed,
+    )
+
+
+def fabric_safety_oracle(system, names: List[str]) -> Dict[str, object]:
+    """The quiesced-fabric safety scan shared by the S22 and S24 runs.
+
+    Scans every partition directory against the live ring (``lost`` /
+    ``misrouted`` / ``duplicated`` counts), fscks every LFS image, and
+    reads every named file back twice — routed through the fabric and
+    reconstructed directly from the LFS blocks via each constituent's
+    entry — byte-comparing the two.  Run it only after traffic (and any
+    migration sweeps) have drained.
+    """
+    from repro.efs.fsck import check_system
+
     fabric = system.fabric
-    names = list(catalog.names)
     locations: Dict[str, List[int]] = {}
     for index, bridge in enumerate(system.bridges):
         for name in bridge.directory.names():
@@ -1227,30 +1266,136 @@ def run_elastic_experiment(
                 mismatched += 1
         return mismatched
 
-    content_mismatched = system.run(readback(), name="elastic-verify")
+    content_mismatched = system.run(readback(), name="fabric-verify")
+    return {
+        "lost": lost,
+        "misrouted": misrouted,
+        "duplicated": duplicated,
+        "content_mismatched": content_mismatched,
+        "fsck_clean": fsck_clean,
+    }
 
-    return ElasticRun(
-        direction=report.direction,
+
+# ---------------------------------------------------------------------------
+# S24: load-aware rebalancing (heat-driven control plane)
+# ---------------------------------------------------------------------------
+
+
+def run_rebalance_experiment(
+    rate: float = 140.0,
+    duration: float = 16.0,
+    servers: int = 4,
+    p: int = 4,
+    seed: int = 0,
+    files: int = 32,
+    blocks: int = 12,
+    mix: Optional[Dict[str, float]] = None,
+    skew: float = 1.6,
+    active: bool = True,
+    rebalance_config=None,
+    moves_per_second: Optional[float] = None,
+    forward_window: Optional[float] = 0.25,
+    obs: bool = False,
+):
+    """One S24 arm: a Zipf-skewed S21 mix with the rebalancer on or off.
+
+    Both arms install the heat map and run the control loop; with
+    ``active=False`` the loop runs ``watch_only`` — it records the same
+    sweep-by-sweep imbalance trajectory but never acts, so off-vs-on is
+    the policy's effect and nothing else.  ``skew`` is deliberately
+    steep: the point is a fabric whose hash placement is busy-unbalanced
+    so the rebalancer has heat to move.  After traffic and the control
+    loop drain, the S22 safety oracle (directory ownership scan, fsck,
+    routed-vs-direct readback) must come back clean across however many
+    sweeps acted.  Returns a :class:`~repro.harness.results.RebalanceRun`.
+    """
+    from repro.analysis.models import fabric_speedup_bound
+    from repro.harness.results import RebalanceRun
+    from repro.rebalance import RebalanceConfig
+    from repro.storage import FixedLatency
+    from repro.traffic import RequestMix, SLORecorder, TrafficGenerator
+
+    if rebalance_config is None:
+        config = RebalanceConfig(watch_only=not active)
+    elif isinstance(rebalance_config, RebalanceConfig):
+        config = rebalance_config
+    else:
+        config = RebalanceConfig(**{"watch_only": not active,
+                                    **rebalance_config})
+
+    system = BridgeSystem(
+        p, seed=seed, disk_latency=FixedLatency(0.0005),
+        bridge_server_count=servers, rebalance=config, obs=obs,
+    )
+    catalog = build_traffic_catalog(system, files, blocks, skew=skew)
+    names = list(catalog.names)
+    # Zipf popularity weights (rank r -> 1/(r+1)^skew): the route bound
+    # that matters is over the *offered* load, not the raw namespace.
+    popularity = {
+        name: 1.0 / (rank + 1) ** skew for rank, name in enumerate(names)
+    }
+    initial_ring = system.fabric.ring
+
+    registry = system.obs.metrics if system.obs is not None else None
+    recorder = SLORecorder(registry=registry)
+    system.rebalancer.attach(recorder)
+    generator = TrafficGenerator(
+        system, catalog,
+        mix=RequestMix(mix) if mix is not None else None,
+        recorder=recorder,
+    )
+
+    busy_marks = [b.busy_time for b in system.bridges]
+    request_marks = [b.requests_served for b in system.bridges]
+    start = system.sim.now
+
+    def driver():
+        system.client_node.spawn(system.rebalancer.run(duration),
+                                 name="rebalancer")
+        result = yield from generator.open_loop(rate, duration)
+        return result
+
+    system.run(driver(), name="rebalance-traffic")
+    window = system.sim.now - start
+
+    busy_fractions = [
+        (b.busy_time - mark) / window if window > 0 else 0.0
+        for b, mark in zip(system.bridges, busy_marks)
+    ][:servers]
+
+    oracle = fabric_safety_oracle(system, names)
+    final_ring = system.fabric.ring
+    rebalancer = system.rebalancer
+
+    return RebalanceRun(
+        active=active and not config.watch_only,
+        servers=servers,
         p=p,
-        start_servers=start_servers,
-        end_servers=end_servers,
-        provisioned=provisioned,
         offered_rate=rate,
-        phase_duration=duration,
+        duration=duration,
         files=files,
-        planned=report.planned,
-        moved=report.moved,
-        vanished=report.vanished,
-        forwarded=report.forwarded,
-        disruption=report.plan.disruption,
-        migration_seconds=report.duration,
-        moves_per_second=moves_per_second,
-        phases=phases,
-        lost=lost,
-        misrouted=misrouted,
-        duplicated=duplicated,
-        content_mismatched=content_mismatched,
-        fsck_clean=fsck_clean,
+        skew=skew,
+        sweeps=[record.to_dict() for record in rebalancer.records],
+        actions=rebalancer.actions,
+        moves=rebalancer.moves_applied,
+        arcs_shed=sum(len(r.shed) for r in rebalancer.records
+                      if r.action == "rebalance"),
+        busy_fractions=busy_fractions,
+        final_imbalance=system.heat.imbalance(system.sim.now,
+                                              active=servers),
+        route_bound_static=fabric_speedup_bound(
+            names, servers, requests=popularity, ring=initial_ring
+        ),
+        route_bound_final=fabric_speedup_bound(
+            names, servers, requests=popularity, ring=final_ring
+        ),
+        summary=recorder.summary(window),
+        heat=system.heat.snapshot(system.sim.now),
+        lost=oracle["lost"],
+        misrouted=oracle["misrouted"],
+        duplicated=oracle["duplicated"],
+        content_mismatched=oracle["content_mismatched"],
+        fsck_clean=oracle["fsck_clean"],
         makespan=system.sim.now,
         events=system.sim.events_executed,
     )

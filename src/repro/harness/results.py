@@ -445,3 +445,66 @@ class MetadataRun:
     def speedup(self, op: str) -> float:
         batched = self.batched_ms[op]
         return self.per_name_ms[op] / batched if batched > 0 else float("inf")
+
+
+@dataclass
+class RebalanceRun:
+    """One S24 arm: a skewed S21 mix with the rebalancer on or watching.
+
+    ``sweeps`` is the control loop's decision log (one dict per
+    :class:`~repro.rebalance.SweepRecord`: rates, imbalance, action,
+    moves, cumulative per-class p99) — the off arm records the same
+    trajectory with ``watch_only`` so on-vs-off isolates the policy's
+    effect.  ``busy_fractions`` are the measured per-partition busy
+    shares over the service window; their spread (hot minus cold) is the
+    headline the E25 bench compares.  The safety counts are the shared
+    S22 oracle, run after everything drains.
+    """
+
+    active: bool  # False = watch_only (heat + sweeps, no action)
+    servers: int
+    p: int
+    offered_rate: float
+    duration: float
+    files: int
+    skew: float  # Zipf skew of the offered catalog
+    sweeps: List[Dict[str, object]]  # SweepRecord.to_dict() per sweep
+    actions: int  # sweeps that applied a new ring
+    moves: int  # entries migrated across all sweeps
+    arcs_shed: int
+    busy_fractions: List[float]  # per-partition busy share of the window
+    final_imbalance: float  # heat-map peak/mean at drain time
+    route_bound_static: float  # popularity-weighted, initial ring
+    route_bound_final: float  # popularity-weighted, final ring
+    summary: Dict[str, object]  # SLORecorder summary over the window
+    heat: Dict[str, object]  # HeatMap.snapshot at drain time
+    lost: int
+    misrouted: int
+    duplicated: int
+    content_mismatched: int
+    fsck_clean: bool
+    makespan: float
+    events: int
+
+    @property
+    def files_intact(self) -> bool:
+        return (self.lost == 0 and self.misrouted == 0
+                and self.duplicated == 0 and self.content_mismatched == 0)
+
+    @property
+    def utilization_spread(self) -> float:
+        """Hot-minus-cold busy fraction across the active partitions."""
+        return max(self.busy_fractions) - min(self.busy_fractions)
+
+    @property
+    def goodput(self) -> float:
+        return float(self.summary["goodput"])
+
+    def p99(self, cls: str) -> float:
+        """Final cumulative p99 for one traffic class."""
+        return float(self.summary["classes"][cls]["p99"])
+
+    def p99_trajectory(self, cls: str) -> List[float]:
+        """Cumulative p99 of ``cls`` sweep by sweep (0.0 before any
+        completion)."""
+        return [float(sweep["p99"].get(cls, 0.0)) for sweep in self.sweeps]

@@ -119,6 +119,14 @@ class Server:
         self.forwarded = 0
         self._forward_cost = 0.0  # subclasses charge their routing CPU
         self._forward_exempt: frozenset = frozenset()
+        # S24 heat accounting: when a HeatMap is installed (see
+        # repro.rebalance.heat) every served request's busy time is
+        # attributed to this server's partition and to the request's
+        # ``name``/``names`` argument.  ``None`` (the default) is one
+        # falsy check per request — no events scheduled, so the seed
+        # event sequence is untouched.
+        self.heat = None
+        self.heat_partition = 0
         self.process = node.spawn(self._loop(), name=name, daemon=True)
 
     # ------------------------------------------------------------------
@@ -184,6 +192,9 @@ class Server:
                         )
                         self.requests_served += 1
                         self.busy_time += sim.now - started
+                        if self.heat is not None:
+                            self.heat.record(self.heat_partition, request,
+                                             sim.now - started, sim.now)
                         if obs is not None:
                             obs.set_current(None)
                         continue
@@ -193,6 +204,9 @@ class Server:
                         response = Response(value=result)
             self.requests_served += 1
             self.busy_time += sim.now - started
+            if self.heat is not None:
+                self.heat.record(self.heat_partition, request,
+                                 sim.now - started, sim.now)
             if obs is not None:
                 self._end_request(obs, request, server_span, started)
             if request.reply_to is not None:

@@ -18,7 +18,8 @@ import pytest
 
 from repro.config import DATA_BYTES_PER_BLOCK
 from repro.core import BridgeClient, ParallelWorker
-from repro.core.partitioned import PartitionedClient, partition_of
+from repro.core.partitioned import PartitionedClient
+from repro.elastic.ring import ModuloRing
 from repro.efs.fsck import check_system
 from repro.harness.builders import BridgeSystem
 from repro.sim import join_all
@@ -79,7 +80,8 @@ def test_partitioned_client_covers_full_bridge_client_surface():
 
 def test_partition_of_depends_only_on_name_and_count():
     names = [f"n{i}" for i in range(16)]
-    owners = {name: partition_of(name, 3) for name in names}
+    ring = ModuloRing(3)
+    owners = {name: ring.partition_of(name) for name in names}
     # Same partition count, different LFS widths: ownership must not move
     # (routing keys off the namespace, never the storage geometry).
     for p in (2, 8):

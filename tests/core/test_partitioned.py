@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.partitioned import PartitionedBridge, PartitionedClient, partition_of
+from repro.core.partitioned import PartitionedBridge, PartitionedClient
+from repro.elastic.ring import ModuloRing
 from repro.errors import BridgeFileNotFoundError
 from repro.harness.builders import BridgeSystem
 from repro.storage import FixedLatency
@@ -17,16 +18,17 @@ def make_system(servers=2, p=4, seed=67):
     )
 
 
-def test_partition_of_deterministic_and_in_range():
+def test_routing_deterministic_and_in_range():
+    ring = ModuloRing(4)
     for name in ("a", "b", "some/longer/name", ""):
-        index = partition_of(name, 4)
+        index = ring.partition_of(name)
         assert 0 <= index < 4
-        assert index == partition_of(name, 4)
+        assert index == ring.partition_of(name)
 
 
-def test_partition_of_rejects_zero():
+def test_ring_rejects_zero_partitions():
     with pytest.raises(ValueError):
-        partition_of("x", 0)
+        ModuloRing(0)
 
 
 def test_partitioned_bridge_requires_servers():
@@ -100,7 +102,7 @@ def test_partition_isolation():
         yield from client.create("only-here")
 
     system.run(body())
-    owner = partition_of("only-here", 2)
+    owner = system.fabric.partition_of("only-here")
     assert system.bridges[owner].directory.exists("only-here")
     assert not system.bridges[1 - owner].directory.exists("only-here")
 

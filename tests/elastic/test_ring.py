@@ -178,3 +178,88 @@ def test_ring_registry():
 def test_rings_reject_zero_partitions(factory):
     with pytest.raises(ValueError):
         factory(0)
+
+
+# ---------------------------------------------------------------------------
+# Weighted arcs and targeted shedding (S24)
+# ---------------------------------------------------------------------------
+
+
+def test_default_weights_are_byte_identical_to_unweighted():
+    """``weights=None`` and the explicit uniform vector build the same
+    table — the S24 surface is invisible until someone uses it."""
+    plain = ConsistentHashRing(4, seed=0, vnodes=64)
+    explicit = ConsistentHashRing(4, seed=0, vnodes=64, weights=(64,) * 4)
+    assert plain._points == explicit._points
+    assert plain._owners == explicit._owners
+    assert [plain.partition_of(n) for n in NAMES] == \
+        [explicit.partition_of(n) for n in NAMES]
+
+
+def test_weights_shift_arc_share_monotonically():
+    """Raising one partition's weight, all else fixed, monotonically
+    grows its arc share (and its share of 2000 routed names) —
+    deterministically under the fixed seed."""
+    shares, loads = [], []
+    for weight in (16, 64, 256):
+        ring = ConsistentHashRing(4, seed=5, vnodes=64,
+                                  weights=(64, weight, 64, 64))
+        shares.append(ring.arc_share()[1])
+        loads.append(loads_for(ring)[1])
+    assert shares == sorted(shares) and shares[0] < shares[-1], shares
+    assert loads[0] < loads[-1], loads
+    # Same weights, same seed -> same table (pure function).
+    again = ConsistentHashRing(4, seed=5, vnodes=64,
+                               weights=(64, 256, 64, 64))
+    assert again.arc_share()[1] == shares[-1]
+
+
+def test_with_partitions_preserves_weights_and_drops():
+    ring = ConsistentHashRing(3, seed=2, vnodes=32,
+                              weights=(32, 48, 16)).shed_arc(1, 7)
+    grown = ring.with_partitions(5)
+    assert grown.weights == (32, 48, 16, 32, 32)
+    assert grown.dropped == frozenset({(1, 7)})
+    shrunk = grown.with_partitions(2)
+    assert shrunk.weights == (32, 48)
+    assert shrunk.dropped == frozenset({(1, 7)})
+
+
+def test_weight_only_plan_is_minimal_and_targeted():
+    """A same-size weight raise moves names only *onto* the raised
+    partition, and the planner's arc-precise minimal-disruption check
+    accepts the plan (it would refuse any survivor-to-survivor churn)."""
+    old_ring = ConsistentHashRing(4, seed=3, vnodes=64)
+    new_ring = old_ring.with_weights((64, 64, 128, 64))
+    plan = plan_resize(old_ring, new_ring, NAMES)
+    assert plan.moves, "raising a weight must attract some arcs"
+    assert all(move.dst == 2 for move in plan.moves), plan.moves
+    assert {m.name for m in plan.moves} == moved_names(old_ring, new_ring)
+
+
+def test_shed_arc_moves_exactly_that_arcs_names():
+    """Shedding one arc moves exactly the names on it — each to the
+    circle successor — and nothing else; re-shedding the same arc
+    raises."""
+    ring = ConsistentHashRing(4, seed=0, vnodes=64)
+    victims = [n for n in NAMES if ring.partition_of(n) == 1]
+    arc = ring.vnode_of(victims[0])
+    shed = ring.shed_arc(*arc)
+    plan = plan_resize(ring, shed, NAMES)
+    on_arc = {n for n in NAMES if ring.vnode_of(n) == arc}
+    assert {m.name for m in plan.moves} == on_arc
+    assert all(move.src == 1 for move in plan.moves)
+    with pytest.raises(ValueError):
+        shed.shed_arc(*arc)
+
+
+def test_shed_cannot_strip_a_partition_bare():
+    ring = ConsistentHashRing(2, seed=0, vnodes=1)
+    with pytest.raises(ValueError, match="no arcs left"):
+        ring.shed_arc(0, 0)
+
+
+def test_arc_share_sums_to_one():
+    ring = ConsistentHashRing(5, seed=9, vnodes=32,
+                              weights=(32, 8, 64, 32, 16)).shed_arc(2, 3)
+    assert abs(sum(ring.arc_share()) - 1.0) < 1e-12
