@@ -16,7 +16,7 @@ from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.efs import EFSClient, EFSServer
 from repro.machine import Machine
 from repro.sim import Simulator
-from repro.storage import DiskParameters, FixedLatency, SimulatedDisk
+from repro.storage import make_driver
 
 
 @dataclass
@@ -38,15 +38,16 @@ class SequentialSystem:
         seed: int = 0,
         disk_capacity_blocks: int = 65_536,
         disk_latency=None,
+        storage=None,
     ) -> None:
         self.config = config or DEFAULT_CONFIG
         self.sim = Simulator(seed=seed)
         self.machine = Machine(self.sim, 2, config=self.config)
         self.fs_node = self.machine.node(0)
         self.client_node = self.machine.node(1)
-        params = DiskParameters(name="disk0", capacity_blocks=disk_capacity_blocks)
-        self.disk = SimulatedDisk(
-            self.sim, params, disk_latency or FixedLatency(0.015)
+        self.disk = make_driver(
+            storage, self.sim, name="disk0",
+            capacity_blocks=disk_capacity_blocks, default_latency=disk_latency,
         )
         self.efs = EFSServer(self.fs_node, self.disk, self.config)
         self._next_file = 1

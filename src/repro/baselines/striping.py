@@ -21,7 +21,7 @@ from repro.config import BLOCK_SIZE, DEFAULT_CONFIG, SystemConfig
 from repro.errors import EFSFileExistsError, EFSFileNotFoundError
 from repro.machine import Client, Machine, Response, Server
 from repro.sim import Simulator, Timeout
-from repro.storage import DiskParameters, FixedLatency, SimulatedDisk
+from repro.storage import BlockStoreABC, make_driver, storage_specs
 
 
 class _StripedFile:
@@ -36,7 +36,7 @@ class _StripedFile:
 class StripedServer(Server):
     """The single FS process fronting a stripe set of ``d`` disks."""
 
-    def __init__(self, node, disks: List[SimulatedDisk],
+    def __init__(self, node, disks: List[BlockStoreABC],
                  config: SystemConfig) -> None:
         super().__init__(node, "striped-fs")
         if not disks:
@@ -124,6 +124,7 @@ class StripedSystem:
         seed: int = 0,
         disk_capacity_blocks: int = 65_536,
         disk_latency=None,
+        storage=None,
     ) -> None:
         self.config = config or DEFAULT_CONFIG
         self.sim = Simulator(seed=seed)
@@ -131,13 +132,12 @@ class StripedSystem:
         self.fs_node = self.machine.node(0)
         self.client_node = self.machine.node(1)
         self.disks = [
-            SimulatedDisk(
-                self.sim,
-                DiskParameters(name=f"stripe{i}", capacity_blocks=disk_capacity_blocks),
-                disk_latency or FixedLatency(0.015),
-                name=f"stripe{i}",
+            make_driver(
+                spec, self.sim, name=f"stripe{i}",
+                capacity_blocks=disk_capacity_blocks,
+                default_latency=disk_latency,
             )
-            for i in range(disk_count)
+            for i, spec in enumerate(storage_specs(storage, disk_count))
         ]
         self.server = StripedServer(self.fs_node, self.disks, self.config)
 

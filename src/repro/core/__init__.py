@@ -19,7 +19,7 @@ from repro.core.parallel import (
     JobInfo,
     ParallelWorker,
 )
-from repro.core.partitioned import PartitionedBridge, PartitionedClient, partition_of
+from repro.core.partitioned import PartitionedBridge, PartitionedClient
 from repro.core.prefetch import Prefetcher, SequentialDetector
 from repro.core.relay import RelayServer
 from repro.core.server import BridgeServer
@@ -49,7 +49,6 @@ __all__ = [
     "RelayServer",
     "SequentialDetector",
     "SystemInfo",
-    "partition_of",
     "reorganize",
     "scatter_quality",
 ]

@@ -38,23 +38,6 @@ from repro.errors import BridgeBadRequestError
 from repro.machine import Port, gather
 
 
-def partition_of(name: str, partitions: int) -> int:
-    """Deterministic partition index for a file name.
-
-    .. deprecated:: S22
-        Routing is now a ring object (:mod:`repro.elastic.ring`); this
-        delegates to the legacy :class:`~repro.elastic.ring.ModuloRing`
-        (``crc32 mod k``, the seed map) and exists only for callers that
-        predate the ring abstraction.  Use ``fabric.partition_of`` — or
-        a ring directly — so resizes route through one source of truth.
-
-        As of S24 no internal caller remains (the delegation test in
-        ``tests/elastic/test_ring.py`` pins the equivalence); this shim
-        is scheduled for removal in a future PR.
-    """
-    return ModuloRing(partitions).partition_of(name)
-
-
 class PartitionedBridge:
     """Routes each file name to its owning Bridge Server.
 

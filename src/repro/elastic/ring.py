@@ -54,9 +54,9 @@ def hash64(key: str) -> int:
 class ModuloRing:
     """The legacy mod-k map: ``crc32(name) % partitions``.
 
-    This is the seed's routing function verbatim (one source of truth —
-    the deprecated module-level ``partition_of`` in
-    :mod:`repro.core.partitioned` now delegates here).  Resizing a
+    This is the seed's routing function verbatim — the one source of
+    truth since the module-level ``partition_of`` shim in
+    ``repro.core.partitioned`` was removed in S25.  Resizing a
     modulo ring remaps ~``(k-1)/k`` of all names, which is exactly why
     the consistent ring exists; it still supports ``with_partitions`` so
     the planner can quantify that disruption.

@@ -19,7 +19,13 @@ from repro.harness.builders import BridgeSystem
 
 
 class FaultInjector:
-    """Fail and repair disks in a :class:`BridgeSystem`.
+    """Fail and repair storage devices in a :class:`BridgeSystem`.
+
+    Works against the storage-kernel contract
+    (:meth:`~repro.storage.base.BlockStoreABC.fail` /
+    :meth:`~repro.storage.base.BlockStoreABC.repair`), so it injects
+    faults into any registered driver — ram, host-fs, object-store —
+    without knowing which one a node runs.
 
     Listeners (objects with ``on_fail(slot)`` / ``on_repair(slot)``) are
     notified of every transition; the system's redundancy manager — which

@@ -24,12 +24,7 @@ from repro.core import (
 from repro.efs import EFSClient, EFSServer
 from repro.machine import Machine
 from repro.sim import Simulator
-from repro.storage import (
-    DiskParameters,
-    FixedLatency,
-    SimulatedDisk,
-    wren_fixed,
-)
+from repro.storage import BlockStoreABC, make_driver, storage_specs
 
 
 class BridgeSystem:
@@ -42,6 +37,7 @@ class BridgeSystem:
         seed: int = 0,
         disk_capacity_blocks: int = 65_536,
         disk_latency=None,
+        storage=None,
         network=None,
         with_relays: bool = True,
         bridge_server_count: int = 1,
@@ -129,17 +125,22 @@ class BridgeSystem:
         self.server_node = self.server_nodes[0]
         self.client_node = self.machine.node(lfs_count + provisioned)
 
-        self.disks: List[SimulatedDisk] = []
+        # S25: every LFS node's device is built by the driver registry.
+        # ``storage=`` takes one spec or a per-node list (heterogeneous
+        # fabrics); unset, the default ``ram`` driver reproduces the seed
+        # event sequence byte-for-byte.  ``disk_latency`` stays the
+        # caller-level default for latency-model drivers.
+        self.storage_specs = storage_specs(storage, lfs_count)
+        self.disks: List[BlockStoreABC] = []
         self.efs_servers: List[EFSServer] = []
         self.relays: List[RelayServer] = []
-        for node in self.lfs_nodes:
-            params = DiskParameters(
-                name=f"disk{node.index}", capacity_blocks=disk_capacity_blocks
+        for node, spec in zip(self.lfs_nodes, self.storage_specs):
+            disk = make_driver(
+                spec, self.sim, name=f"disk{node.index}",
+                capacity_blocks=disk_capacity_blocks,
+                default_latency=disk_latency,
             )
-            latency = disk_latency if disk_latency is not None else FixedLatency(0.015)
-            disk = SimulatedDisk(
-                self.sim, params, latency, name=f"disk{node.index}"
-            )
+            disk.heat_slot = node.index
             self.disks.append(disk)
             efs = EFSServer(node, disk, self.config)
             self.efs_servers.append(efs)
@@ -342,6 +343,14 @@ class BridgeSystem:
 
     # ------------------------------------------------------------------
 
+    def attach_storage_heat(self, heat) -> None:
+        """Install a :class:`~repro.rebalance.heat.HeatMap` keyed by LFS
+        slot on every storage driver (S24-style busy attribution at the
+        device layer; schedules no events)."""
+        for slot, disk in enumerate(self.disks):
+            disk.heat = heat
+            disk.heat_slot = slot
+
     def total_disk_ops(self) -> int:
         return sum(d.total_operations for d in self.disks)
 
@@ -358,6 +367,10 @@ def build_system(lfs_count: int, **kwargs) -> BridgeSystem:
 
 
 def paper_system(lfs_count: int, seed: int = 0, **kwargs) -> BridgeSystem:
-    """The paper's configuration: 15 ms fixed-latency Wren-class disks."""
-    _params, latency = wren_fixed()
-    return BridgeSystem(lfs_count, seed=seed, disk_latency=latency, **kwargs)
+    """The paper's configuration: 15 ms fixed-latency Wren-class disks.
+
+    Since S25 that *is* the default driver spec
+    (:data:`repro.storage.DEFAULT_ACCESS_TIME` through the ``ram``
+    driver), so this is a named alias for the default build — ``storage=``
+    and every other knob pass through."""
+    return BridgeSystem(lfs_count, seed=seed, **kwargs)

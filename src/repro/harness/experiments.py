@@ -21,12 +21,14 @@ from repro.config import DEFAULT_CONFIG
 from repro.core import JobController, ParallelWorker
 from repro.faults import FaultInjector, MirroredFile
 from repro.harness.builders import BridgeSystem, paper_system
+from repro.rebalance.heat import HeatMap
 from repro.harness.results import (
     CopyRun,
     CreateTreeRun,
     FaultsRun,
     RedundancyRun,
     SortRun,
+    StorageDriverRun,
     StripingRun,
     Table2Measurement,
     TokenSaturationRun,
@@ -1398,4 +1400,128 @@ def run_rebalance_experiment(
         fsck_clean=oracle["fsck_clean"],
         makespan=system.sim.now,
         events=system.sim.events_executed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E26: pluggable storage drivers and heterogeneous fabrics (S25)
+# ---------------------------------------------------------------------------
+
+
+def run_storage_driver_experiment(
+    p: int,
+    blocks: Optional[int] = None,
+    seed: int = 0,
+    storage=None,
+    label: Optional[str] = None,
+    heat_window: float = 240.0,
+) -> StorageDriverRun:
+    """E26: one storage fabric under the standard build + contended read.
+
+    ``storage`` is any :func:`repro.storage.storage_specs` spec — one
+    driver spec for a homogeneous fabric or a per-slot list for a
+    heterogeneous one (``["ram", "ram", "ram", "object"]``).  The
+    workload is fixed across arms so only the device layer varies:
+
+    1. **build** — write a ``blocks``-block interleaved file through the
+       naive view (serial, so it prices raw device write latency);
+    2. **contended read** — a virtual-parallel job with ``2 * p``
+       workers, two per constituent, so every device serves two
+       concurrent streams and queueing (or, for the object store,
+       overlapped in-flight transfers) becomes visible.
+
+    An S24 :class:`~repro.rebalance.HeatMap` keyed by LFS slot is
+    installed at the device layer (``attach_storage_heat``), so the run
+    reports where the fabric's busy time actually went — on the
+    3-fast/1-slow arm the slow slot's share is the attribution headline.
+    ``heat_window`` must cover the whole run; shares are
+    window-independent as long as it does.
+    """
+    # The read phase must actually touch the devices: size the file past
+    # the per-LFS EFS block cache (LRU + sequential scan = full miss on
+    # the re-read once the per-node share exceeds the cache).
+    cache_floor = (5 * p * DEFAULT_CONFIG.efs_cache_blocks) // 4
+    blocks = blocks if blocks is not None else max(
+        cache_floor, default_blocks() // 4)
+    if blocks * 4 < cache_floor * 3:
+        raise ValueError(
+            f"blocks={blocks} fits the per-LFS cache at p={p}; the "
+            f"contended read would never reach the devices "
+            f"(need >= {(cache_floor * 3 + 3) // 4})"
+        )
+    system = BridgeSystem(p, seed=seed, storage=storage)
+    heat = HeatMap(p, window=heat_window, buckets=8, max_names=8)
+    system.attach_storage_heat(heat)
+    sim = system.sim
+
+    build_start = sim.now
+    build_file(system, "driven", pattern_chunks(blocks))
+    build_seconds = sim.now - build_start
+
+    ops_marks = [disk.total_operations for disk in system.disks]
+    busy_marks = [disk.busy_time for disk in system.disks]
+
+    worker_count = 2 * p
+    workers = [ParallelWorker(system.client_node, i)
+               for i in range(worker_count)]
+
+    def drain(worker):
+        while True:
+            delivery = yield from worker.receive()
+            if delivery.eof:
+                return
+
+    processes = [
+        system.client_node.spawn(drain(w), name=f"drain{w.index}")
+        for w in workers
+    ]
+
+    def controller_body():
+        controller = JobController(system.client_node, system.bridge.port)
+        yield from controller.open("driven", [w.port for w in workers])
+        start = sim.now
+        rounds = -(-blocks // worker_count) + 1
+        for _ in range(rounds):
+            yield from controller.read()
+        elapsed = sim.now - start
+        from repro.sim import join_all
+
+        yield join_all(processes)
+        return elapsed
+
+    read_seconds = system.run(controller_body(), name="contended-read")
+
+    from repro.storage import normalize_driver_spec
+
+    normalized = [
+        {"kind": f"factory:{getattr(spec, '__name__', 'callable')}"}
+        if callable(spec) else normalize_driver_spec(spec)
+        for spec in system.storage_specs
+    ]
+    if label is None:
+        label = storage if isinstance(storage, str) else (
+            "ram" if storage is None else "custom")
+    return StorageDriverRun(
+        label=label,
+        p=p,
+        blocks=blocks,
+        storage=normalized,
+        driver_kinds=[type(disk).kind for disk in system.disks],
+        build_seconds=build_seconds,
+        read_seconds=read_seconds,
+        node_read_ops=[disk.total_operations - mark
+                       for disk, mark in zip(system.disks, ops_marks)],
+        node_read_busy=[disk.busy_time - mark
+                        for disk, mark in zip(system.disks, busy_marks)],
+        node_wait_ms_mean=[disk.wait_times.mean * 1000.0
+                           for disk in system.disks],
+        node_wait_ms_max=[
+            (disk.wait_times.max if disk.wait_times.count else 0.0) * 1000.0
+            for disk in system.disks
+        ],
+        node_service_ms_mean=[disk.service_times.mean * 1000.0
+                              for disk in system.disks],
+        heat_busy_rates=heat.partition_rates(sim.now),
+        makespan=sim.now,
+        events=sim.events_executed,
     )

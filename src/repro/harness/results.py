@@ -508,3 +508,65 @@ class RebalanceRun:
         """Cumulative p99 of ``cls`` sweep by sweep (0.0 before any
         completion)."""
         return [float(sweep["p99"].get(cls, 0.0)) for sweep in self.sweeps]
+
+
+@dataclass
+class StorageDriverRun:
+    """One E26 arm: the standard build + contended-read workload on one
+    storage fabric (S25).
+
+    Every arm runs the identical logical workload — build an interleaved
+    file through the naive view, then read it back through a
+    virtual-parallel job with two workers per constituent so every
+    device serves two concurrent streams — and differs only in the
+    ``storage=`` spec handed to :class:`~repro.harness.builders.BridgeSystem`.
+    ``node_*`` vectors are indexed by LFS slot.  The read-phase deltas
+    (``node_read_ops`` / ``node_read_busy``) isolate the contended read;
+    the wait/service summaries and the S24 heat rates cover the whole
+    run (the build phase is serial, so its waits are ~0 on every arm and
+    dilute all slots equally).
+    """
+
+    label: str
+    p: int
+    blocks: int
+    storage: List[Dict[str, object]]  # normalized per-slot driver specs
+    driver_kinds: List[str]  # registry kind per LFS slot
+    build_seconds: float
+    read_seconds: float
+    node_read_ops: List[int]  # device ops per slot during the read
+    node_read_busy: List[float]  # busy seconds per slot during the read
+    node_wait_ms_mean: List[float]  # whole-run queueing wait, per slot
+    node_wait_ms_max: List[float]
+    node_service_ms_mean: List[float]  # whole-run service time, per slot
+    heat_busy_rates: List[float]  # S24 HeatMap busy-seconds/s, per slot
+    makespan: float
+    events: int
+
+    @property
+    def read_blocks_per_second(self) -> float:
+        return self.blocks / self.read_seconds if self.read_seconds > 0 else 0.0
+
+    @property
+    def node_busy_fractions(self) -> List[float]:
+        """Busy fraction of the read window per slot (an object-store
+        slot can exceed 1.0: overlapping in-flight transfers)."""
+        if self.read_seconds <= 0:
+            return [0.0] * len(self.node_read_busy)
+        return [busy / self.read_seconds for busy in self.node_read_busy]
+
+    @property
+    def heat_busy_shares(self) -> List[float]:
+        """Each slot's share of the fabric's total attributed busy time
+        (sums to 1.0) — window-independent, so this is the headline the
+        heterogeneous arm's attribution check reads."""
+        total = sum(self.heat_busy_rates)
+        if total <= 0:
+            return [0.0] * len(self.heat_busy_rates)
+        return [rate / total for rate in self.heat_busy_rates]
+
+    @property
+    def hottest_slot(self) -> int:
+        """The slot the S24 heat map attributes the most busy time to."""
+        shares = self.heat_busy_shares
+        return shares.index(max(shares))

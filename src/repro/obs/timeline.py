@@ -3,7 +3,7 @@
 Three harvests, all pull- or hook-based so the simulation schedules no
 extra events:
 
-* **disk busy segments** — :class:`repro.storage.disk.SimulatedDisk`
+* **disk busy segments** — every :class:`repro.storage.base.BlockStoreABC` driver
   reports each service interval as it completes; ``busy_fraction``
   integrates them over any window;
 * **interconnect traffic** — per-node message/byte counts recorded from

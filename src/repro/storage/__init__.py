@@ -1,9 +1,26 @@
-"""Simulated storage devices: disks, latency models, schedulers, arrays."""
+"""Simulated storage: the block-store kernel, registered drivers,
+latency models, schedulers, and arrays."""
 
 from repro.storage.array import StorageArray
+from repro.storage.base import (
+    BlockStoreABC,
+    IOScheduler,
+    LatencyModel,
+    SingleArmBlockStore,
+)
 from repro.storage.disk import SimulatedDisk
+from repro.storage.drivers import (
+    DRIVER_KINDS,
+    make_driver,
+    normalize_driver_spec,
+    register_driver,
+    storage_specs,
+)
 from repro.storage.geometry import DiskGeometry
+from repro.storage.hostfs import HostFSDisk
+from repro.storage.objectstore import ObjectStoreDisk, ObjectStoreLatency
 from repro.storage.parameters import (
+    DEFAULT_ACCESS_TIME,
     DiskParameters,
     FixedLatency,
     GeometricLatency,
@@ -19,17 +36,30 @@ from repro.storage.scheduler import (
 )
 
 __all__ = [
+    "BlockStoreABC",
+    "IOScheduler",
+    "LatencyModel",
+    "DEFAULT_ACCESS_TIME",
+    "DRIVER_KINDS",
     "DiskGeometry",
     "DiskParameters",
     "ElevatorScheduler",
     "FCFSScheduler",
     "FixedLatency",
     "GeometricLatency",
+    "HostFSDisk",
+    "ObjectStoreDisk",
+    "ObjectStoreLatency",
     "SSTFScheduler",
     "SimulatedDisk",
+    "SingleArmBlockStore",
     "StorageArray",
+    "make_driver",
     "make_scheduler",
+    "normalize_driver_spec",
     "ramdisk",
+    "register_driver",
+    "storage_specs",
     "wren_fixed",
     "wren_geometric",
 ]

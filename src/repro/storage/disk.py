@@ -1,4 +1,4 @@
-"""The simulated block device.
+"""The ``ram`` driver: the paper's RAM-simulated block device.
 
 One :class:`SimulatedDisk` is a DES process serving a queue of block
 requests one at a time (a single arm).  Service time comes from a latency
@@ -6,63 +6,31 @@ model (fixed 15 ms in paper mode).  Block contents are real bytes held in
 memory — exactly the paper's approach of simulating 64 MB of "disk" in the
 Butterfly's RAM (section 4.4).
 
+Since S25 this is the *reference driver* of the storage kernel: the
+queueing, span-stamping, and fault machinery live in
+:class:`~repro.storage.base.SingleArmBlockStore`, and this class only
+binds them to an in-memory block dict.  Register-by-name construction
+goes through :func:`repro.storage.drivers.make_driver` (``"ram"``).
+
 Fault injection (section 6's Murphy's-law discussion) is supported via
-:meth:`fail`: a failed disk errors every subsequent request, which is what
-makes an interleaved file system lose *every* file when any one device
-dies.
+:meth:`~repro.storage.base.BlockStoreABC.fail`: a failed disk errors
+every subsequent request, which is what makes an interleaved file system
+lose *every* file when any one device dies.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.errors import BadBlockAddressError, DeviceFailedError
-from repro.sim import Mailbox, Summary, Timeout
-from repro.storage.parameters import DiskParameters, FixedLatency
-from repro.storage.scheduler import FCFSScheduler
+from repro.storage.base import SingleArmBlockStore
+from repro.storage.parameters import DiskParameters
 
 
-class _DiskRequest:
-    __slots__ = ("op", "block", "data", "waiter", "enqueued_at", "result",
-                 "error", "wait", "service")
+class SimulatedDisk(SingleArmBlockStore):
+    """A single-arm RAM-backed block device with pluggable latency and
+    scheduling — the ``ram`` driver."""
 
-    def __init__(self, op: str, block: int, data: Optional[bytes], now: float) -> None:
-        self.op = op
-        self.block = block
-        self.data = data
-        self.waiter = None
-        self.enqueued_at = now
-        self.result: Optional[bytes] = None
-        self.error: Optional[Exception] = None
-        # Stamped by the driver loop so the caller's observability span
-        # can split its interval into queueing vs. arm service.
-        self.wait: Optional[float] = None
-        self.service: Optional[float] = None
-
-
-class _Submit:
-    """Waitable that parks the calling process until its request is served."""
-
-    __slots__ = ("disk", "request")
-
-    def __init__(self, disk: "SimulatedDisk", request: _DiskRequest) -> None:
-        self.disk = disk
-        self.request = request
-
-    def _wait(self, process) -> None:
-        self.request.waiter = process
-        self.disk._pending.append(self.request)
-        obs = self.disk.sim.obs
-        if obs is not None:
-            obs.timeline.record_queue_depth(
-                f"{self.disk.name}.queue", self.disk.sim.now,
-                len(self.disk._pending),
-            )
-        self.disk._wakeup.deliver(None)
-
-
-class SimulatedDisk:
-    """A single-arm block device with pluggable latency and scheduling."""
+    kind = "ram"
 
     def __init__(
         self,
@@ -73,157 +41,14 @@ class SimulatedDisk:
         name: Optional[str] = None,
         rng_stream: str = "disk",
     ) -> None:
-        self.sim = sim
-        self.params = params
-        self.latency = latency_model or FixedLatency(0.015)
-        self.scheduler = scheduler or FCFSScheduler()
-        self.name = name or params.name
         self.blocks: Dict[int, bytes] = {}
-        self.head_position = 0
-        self.failed = False
-        self._pending: List[_DiskRequest] = []
-        self._wakeup = Mailbox(sim, f"{self.name}.wakeup")
-        self._rng = sim.random.stream(f"{rng_stream}.{self.name}")
-        self.reads = 0
-        self.writes = 0
-        self.busy_time = 0.0
-        self.wait_times = Summary(f"{self.name}.wait")
-        self.service_times = Summary(f"{self.name}.service")
-        # Node index for observability spans (disks have no node of their
-        # own; the harness sets this to the owning LFS node).
-        self.obs_node: Optional[int] = None
-        sim.spawn(self._loop(), name=f"{self.name}.driver", daemon=True)
-
-    # ------------------------------------------------------------------
-    # Client API (generator style: value = yield from disk.read(addr))
-    # ------------------------------------------------------------------
-
-    def read(self, block: int):
-        """Read one block; returns its bytes (zeros if never written)."""
-        request = _DiskRequest("read", block, None, self.sim.now)
-        obs = self.sim.obs
-        span = None
-        if obs is not None:
-            span = obs.begin(f"{self.name}.read", "disk", node=self.obs_node)
-        result = yield _Submit(self, request)
-        if obs is not None:
-            obs.end(span, block=block, wait=result.wait, service=result.service)
-        if result.error is not None:
-            raise result.error
-        return result.result
-
-    def write(self, block: int, data: bytes):
-        """Write one block (data must not exceed the block size)."""
-        request = _DiskRequest("write", block, bytes(data), self.sim.now)
-        obs = self.sim.obs
-        span = None
-        if obs is not None:
-            span = obs.begin(f"{self.name}.write", "disk", node=self.obs_node)
-        result = yield _Submit(self, request)
-        if obs is not None:
-            obs.end(span, block=block, wait=result.wait, service=result.service)
-        if result.error is not None:
-            raise result.error
-        return None
-
-    # ------------------------------------------------------------------
-    # Fault injection
-    # ------------------------------------------------------------------
-
-    def fail(self) -> None:
-        """Fail the device: all queued and future requests error."""
-        self.failed = True
-        self._wakeup.deliver(None)
-
-    def repair(self) -> None:
-        """Clear the failure flag (contents are preserved: a 'reconnect')."""
-        self.failed = False
-
-    # ------------------------------------------------------------------
-
-    def _perform(self, request: _DiskRequest) -> None:
-        if not 0 <= request.block < self.params.capacity_blocks:
-            request.error = BadBlockAddressError(
-                f"{self.name}: block {request.block} out of range "
-                f"[0, {self.params.capacity_blocks})"
-            )
-            return
-        if request.op == "read":
-            self.reads += 1
-            request.result = self.blocks.get(
-                request.block, b"\x00" * self.params.block_size
-            )
-        else:
-            if len(request.data) > self.params.block_size:
-                request.error = BadBlockAddressError(
-                    f"{self.name}: write of {len(request.data)} bytes exceeds "
-                    f"block size {self.params.block_size}"
-                )
-                return
-            self.writes += 1
-            self.blocks[request.block] = request.data
-
-    def _loop(self):
-        sim = self.sim
-        while True:
-            if not self._pending:
-                yield self._wakeup.recv()
-                continue
-            if self.failed:
-                for request in self._pending:
-                    request.error = DeviceFailedError(f"{self.name} has failed")
-                    sim._schedule(0.0, request.waiter._resume, request)
-                self._pending.clear()
-                continue
-            index = self.scheduler.select(self._pending, self.head_position)
-            request = self._pending.pop(index)
-            service, new_position = self.latency.access(
-                self._rng, self.head_position, request.block, sim.now
-            )
-            wait = sim.now - request.enqueued_at
-            request.wait = wait
-            request.service = service
-            self.wait_times.observe(wait)
-            self.service_times.observe(service)
-            obs = sim.obs
-            if obs is not None:
-                obs.timeline.record_queue_depth(
-                    f"{self.name}.queue", sim.now, len(self._pending)
-                )
-                obs.metrics.histogram(f"{self.name}.service").observe(service)
-                obs.metrics.histogram(f"{self.name}.wait").observe(wait)
-            yield Timeout(service)
-            self.busy_time += service
-            if obs is not None:
-                obs.timeline.record_disk_busy(self.name, sim.now - service, sim.now)
-            self.head_position = new_position
-            self._perform(request)
-            sim._schedule(0.0, request.waiter._resume, request)
-
-    # ------------------------------------------------------------------
-
-    @property
-    def total_operations(self) -> int:
-        return self.reads + self.writes
-
-    @property
-    def queue_length(self) -> int:
-        return len(self._pending)
-
-    def utilization(self) -> float:
-        """Fraction of simulated time the arm was busy."""
-        now = self.sim.now
-        return self.busy_time / now if now > 0 else 0.0
-
-    def load_image(self, blocks: Dict[int, bytes]) -> None:
-        """Install block contents directly (test/bench setup, no time cost)."""
-        for address, data in blocks.items():
-            if not 0 <= address < self.params.capacity_blocks:
-                raise BadBlockAddressError(f"image block {address} out of range")
-            self.blocks[address] = bytes(data)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (
-            f"SimulatedDisk({self.name!r}, ops={self.total_operations}, "
-            f"queued={len(self._pending)})"
+        super().__init__(
+            sim, params, latency_model, scheduler=scheduler, name=name,
+            rng_stream=rng_stream,
         )
+
+    def _read_block(self, block: int) -> bytes:
+        return self.blocks.get(block, b"\x00" * self.params.block_size)
+
+    def _write_block(self, block: int, data: bytes) -> None:
+        self.blocks[block] = data

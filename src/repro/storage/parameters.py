@@ -18,6 +18,14 @@ from repro.config import BLOCK_SIZE
 from repro.storage.geometry import DiskGeometry
 
 
+#: The paper's 15 ms Wren-class access time.  This is the *single source
+#: of truth* for the default device latency: every constructor that
+#: needs a default — drivers, harness builders, baselines — resolves it
+#: through :meth:`DiskParameters.default_latency` rather than repeating
+#: the constant.
+DEFAULT_ACCESS_TIME = 0.015
+
+
 class FixedLatency:
     """Every access costs the same: the paper's 15 ms sleep.
 
@@ -25,7 +33,7 @@ class FixedLatency:
     without changing the mean; the paper used none.
     """
 
-    def __init__(self, access_time: float = 0.015, jitter: float = 0.0) -> None:
+    def __init__(self, access_time: float = DEFAULT_ACCESS_TIME, jitter: float = 0.0) -> None:
         if access_time < 0 or jitter < 0:
             raise ValueError("latencies must be non-negative")
         self.access_time = access_time
@@ -103,11 +111,18 @@ class DiskParameters:
     def capacity_bytes(self) -> int:
         return self.capacity_blocks * self.block_size
 
+    def default_latency(self) -> FixedLatency:
+        """The default device latency model: the paper's flat 15 ms
+        (:data:`DEFAULT_ACCESS_TIME`).  Drivers and builders that take
+        an optional latency model fall back to this, so the constant
+        lives in exactly one place."""
+        return FixedLatency(DEFAULT_ACCESS_TIME)
+
 
 def wren_fixed(capacity_blocks: int = 65_536) -> Tuple[DiskParameters, FixedLatency]:
     """The paper's configuration: 64 MB RAM-simulated disk, flat 15 ms."""
     params = DiskParameters(name="cdc-wren-fixed", capacity_blocks=capacity_blocks)
-    return params, FixedLatency(0.015)
+    return params, params.default_latency()
 
 
 def wren_geometric(capacity_blocks: int = 65_536) -> Tuple[DiskParameters, GeometricLatency]:

@@ -6,19 +6,28 @@ from repro.config import DEFAULT_CONFIG
 from repro.efs import EFSClient, EFSServer
 from repro.machine import Machine
 from repro.sim import Simulator
-from repro.storage import DiskParameters, FixedLatency, SimulatedDisk
+from repro.storage import FixedLatency, make_driver
 
 
 class EFSHarness:
-    """One node, one disk, one EFS server, one client on the same node."""
+    """One node, one disk, one EFS server, one client on the same node.
 
-    def __init__(self, capacity_blocks=2048, access_time=0.015, config=None):
+    ``storage`` is any S25 driver spec (``None`` = the ram reference
+    driver); the driver-parameterized suites pass ``"hostfs"`` /
+    ``"object"`` specs to run the same semantics against every backend.
+    """
+
+    def __init__(self, capacity_blocks=2048, access_time=0.015, config=None,
+                 storage=None):
         self.config = config or DEFAULT_CONFIG
         self.sim = Simulator(seed=13)
         self.machine = Machine(self.sim, 1, config=self.config)
         self.node = self.machine.node(0)
-        params = DiskParameters(name="lfs-disk", capacity_blocks=capacity_blocks)
-        self.disk = SimulatedDisk(self.sim, params, FixedLatency(access_time))
+        self.disk = make_driver(
+            storage, self.sim, name="lfs-disk",
+            capacity_blocks=capacity_blocks,
+            default_latency=FixedLatency(access_time),
+        )
         self.server = EFSServer(self.node, self.disk, self.config)
         self.client = EFSClient(self.node, self.server.port)
 

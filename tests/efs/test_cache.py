@@ -258,3 +258,77 @@ def test_write_back_after_write_through_stays_dirty_until_flush():
     sim.run_process(body())
     assert disk.blocks[7] == b"U" * 1024
     assert cache._entries[7][1] is False
+
+
+# ---------------------------------------------------------------------------
+# S25: cache coherence against every registered driver
+# ---------------------------------------------------------------------------
+
+
+ALL_DRIVER_KINDS = ("ram", "hostfs", "object")
+
+
+def make_on_driver(kind, tmp_path, capacity=4, track_blocks=1):
+    from repro.storage import make_driver
+
+    spec = {"kind": "hostfs", "root": tmp_path} if kind == "hostfs" else kind
+    sim = Simulator(seed=5)
+    disk = make_driver(spec, sim, name="d", capacity_blocks=256)
+    cache = BlockCache(disk, capacity=capacity, track_blocks=track_blocks)
+    return sim, disk, cache
+
+
+@pytest.mark.parametrize("kind", ALL_DRIVER_KINDS)
+def test_miss_then_hit_on_every_driver(kind, tmp_path):
+    """A hit never touches the device, regardless of the backend."""
+    sim, disk, cache = make_on_driver(kind, tmp_path)
+    disk.load_image({3: b"A" * 1024})
+
+    def body():
+        first = yield from cache.read(3)
+        second = yield from cache.read(3)
+        return first, second
+
+    first, second = sim.run_process(body())
+    assert first == second == b"A" * 1024
+    assert cache.hits == 1 and cache.misses == 1
+    assert disk.reads == 1
+
+
+@pytest.mark.parametrize("kind", ALL_DRIVER_KINDS)
+def test_write_back_flush_reaches_device_on_every_driver(kind, tmp_path):
+    """Deferred write-back lands on the backing store at flush time —
+    for hostfs that means the bytes are really in the block file."""
+    sim, disk, cache = make_on_driver(kind, tmp_path)
+
+    def body():
+        yield from cache.write_back(5, b"B" * 1024)
+        before = disk.writes
+        yield from cache.flush()
+        return before
+
+    before = sim.run_process(body())
+    assert before == 0  # deferred until flush
+    assert disk.writes == 1
+    assert bytes(disk.blocks[5]).startswith(b"B" * 1024)
+
+
+@pytest.mark.parametrize("kind", ALL_DRIVER_KINDS)
+def test_invalidate_rereads_device_on_every_driver(kind, tmp_path):
+    """After invalidate_all, a read must consult the device again and
+    observe out-of-band changes to the underlying blocks."""
+    sim, disk, cache = make_on_driver(kind, tmp_path)
+    disk.load_image({9: b"old" + b"\x00" * 1021})
+
+    def warm():
+        return (yield from cache.read(9))
+
+    assert sim.run_process(warm()).startswith(b"old")
+    disk.blocks[9] = b"new" + b"\x00" * 1021
+    cache.invalidate_all()
+
+    def reread():
+        return (yield from cache.read(9))
+
+    assert sim.run_process(reread()).startswith(b"new")
+    assert disk.reads == 2

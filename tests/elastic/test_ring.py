@@ -12,7 +12,6 @@ import zlib
 
 import pytest
 
-from repro.core.partitioned import partition_of
 from repro.elastic.plan import plan_resize
 from repro.elastic.ring import (
     RING_KINDS,
@@ -156,13 +155,12 @@ def test_plan_is_deterministic_and_sorted():
 
 
 def test_modulo_ring_is_the_seed_map():
-    """ModuloRing == crc32 mod k == the deprecated module-level shim —
-    one source of truth, byte-identical to the committed baseline."""
+    """ModuloRing == crc32 mod k — the seed routing map, one source of
+    truth, byte-identical to the committed baseline."""
     ring = ModuloRing(3)
     for name in NAMES[:64]:
         want = zlib.crc32(name.encode()) % 3
         assert ring.partition_of(name) == want
-        assert partition_of(name, 3) == want
 
 
 def test_ring_registry():
